@@ -1,0 +1,88 @@
+"""Ablation benchmark (experiment E8): the design choices of Sec. III-C.
+
+The paper calls out two training-side design decisions without a dedicated
+figure: the row normalization applied before every binary-memory refresh
+(Sec. III-C-4, "prevents any single vector from dominating") and the
+learning-rate range (0.01--0.1, Sec. III-C-3).  This benchmark quantifies
+both at benchmark scale:
+
+* MEMHD trained with normalization ("zscore" / "l2") vs. without ("none"),
+* a learning-rate sweep across and beyond the paper's recommended range.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from conftest import BENCH_EPOCHS, print_section
+
+from repro.core.config import MEMHDConfig
+from repro.core.model import MEMHDModel
+from repro.eval.reporting import format_table
+
+
+def _train(dataset, config, seed=3):
+    model = MEMHDModel(dataset.num_features, dataset.num_classes, config, rng=seed)
+    history = model.fit(dataset.train_features, dataset.train_labels)
+    return model.score(dataset.test_features, dataset.test_labels), history
+
+
+def test_ablation_normalization(benchmark, fmnist):
+    base = MEMHDConfig(dimension=128, columns=64, epochs=BENCH_EPOCHS, seed=0)
+
+    def run():
+        results = {}
+        for mode in ("zscore", "l2", "none"):
+            accuracy, history = _train(fmnist, base.with_updates(normalization=mode))
+            results[mode] = (accuracy, history.final_train_accuracy)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        {
+            "normalization": mode,
+            "test_accuracy_%": 100.0 * accuracy,
+            "train_accuracy_%": 100.0 * train_accuracy,
+        }
+        for mode, (accuracy, train_accuracy) in results.items()
+    ]
+    print_section(
+        "Ablation: row normalization before binary-AM refresh (FMNIST profile, 128x64)",
+        format_table(rows, float_format="{:.1f}"),
+    )
+
+    chance = 1.0 / fmnist.num_classes
+    assert all(accuracy > chance for accuracy, _ in results.values())
+    # The normalized variants must not lose to the unnormalized one by a
+    # meaningful margin (the paper includes the step because it helps or is
+    # neutral; it should never be clearly harmful).
+    best_normalized = max(results["zscore"][0], results["l2"][0])
+    assert best_normalized >= results["none"][0] - 0.05
+
+
+def test_ablation_learning_rate(benchmark, fmnist):
+    base = MEMHDConfig(dimension=128, columns=64, epochs=BENCH_EPOCHS, seed=0)
+    rates = (0.005, 0.01, 0.05, 0.1, 0.5)
+
+    def run():
+        return {
+            rate: _train(fmnist, base.with_updates(learning_rate=rate))[0]
+            for rate in rates
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        {"learning_rate": rate, "test_accuracy_%": 100.0 * accuracy}
+        for rate, accuracy in results.items()
+    ]
+    print_section(
+        "Ablation: learning-rate sweep (FMNIST profile, 128x64)",
+        format_table(rows, float_format="{:.3g}"),
+    )
+
+    chance = 1.0 / fmnist.num_classes
+    assert all(accuracy > chance for accuracy in results.values())
+    # The paper's recommended range should contain a configuration at least
+    # as good as the extremes of the sweep.
+    recommended_best = max(results[0.01], results[0.05], results[0.1])
+    assert recommended_best >= max(results[0.005], results[0.5]) - 0.05

@@ -1,0 +1,69 @@
+"""Extension benchmark (experiment E10): ADC resolution vs. accuracy and energy.
+
+Real IMC macros digitize each column's analog sum with a finite-resolution
+ADC, and ADC energy is the dominant readout cost (it roughly doubles per
+extra bit).  MEMHD's associative search accumulates at most ``D`` ones per
+column, so the required ADC resolution is set by the AM's dimension, not by
+the 10k-dimensional hypervectors of conventional HDC -- a further, implicit
+advantage of the paper's small-D design.  This benchmark sweeps the column
+ADC resolution for a trained MEMHD 128x128 model and reports accuracy next
+to the relative ADC energy.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import BENCH_EPOCHS, print_section
+
+from repro.core.config import MEMHDConfig
+from repro.core.model import MEMHDModel
+from repro.eval.reporting import format_table
+from repro.imc.adc import adc_energy_scale, evaluate_adc_sweep
+from repro.imc.array import IMCArrayConfig
+
+BIT_SETTINGS = (2, 3, 4, 5, 6, 8, None)
+
+
+def test_adc_precision_sweep(benchmark, mnist):
+    def run():
+        model = MEMHDModel(
+            mnist.num_features,
+            mnist.num_classes,
+            MEMHDConfig(dimension=128, columns=128, epochs=BENCH_EPOCHS, seed=0),
+            rng=0,
+        )
+        model.fit(mnist.train_features, mnist.train_labels)
+        results = evaluate_adc_sweep(
+            model,
+            mnist.test_features,
+            mnist.test_labels,
+            bit_settings=BIT_SETTINGS,
+            array_config=IMCArrayConfig(128, 128),
+        )
+        return model, results
+
+    model, results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        {
+            "adc_bits": "ideal" if bits is None else bits,
+            "test_accuracy_%": 100.0 * accuracy,
+            "relative_adc_energy": adc_energy_scale(bits),
+        }
+        for bits, accuracy in results.items()
+    ]
+    print_section(
+        "ADC resolution sweep: MEMHD 128x128 associative search (MNIST profile)",
+        format_table(rows, float_format="{:.3g}"),
+    )
+
+    ideal = results[None]
+    software = model.score(mnist.test_features, mnist.test_labels)
+    # Ideal readout is exactly the software model.
+    assert ideal == pytest.approx(software)
+    # D = 128 sums fit in 7 bits, so 8 bits are lossless; 6 bits (half-LSB
+    # error of ~1 count on a 0..128 sum) may cost a few points because the
+    # multi-centroid decision margins are only a handful of counts.
+    assert results[8] == pytest.approx(ideal)
+    assert results[6] >= ideal - 0.15
+    # Very coarse ADCs lose accuracy (monotone, no free lunch).
+    assert results[2] <= results[6] + 0.02

@@ -1,0 +1,79 @@
+"""Extension benchmark (experiment E12): post-training AM compression.
+
+MEMHD fixes the AM size to the target array at training time; this study
+quantifies how gracefully a *trained* multi-centroid AM shrinks when columns
+must be reclaimed afterwards (deployment to a narrower macro, or making room
+for new classes via the online-learning path).  Usage-ranked pruning
+(`repro.core.compression.prune_centroids`) is swept from the full AM down to
+one centroid per class and the accuracy-vs-columns curve is printed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from conftest import BENCH_EPOCHS, print_section
+
+from repro.core.compression import merge_similar_centroids, prune_centroids
+from repro.core.config import MEMHDConfig
+from repro.core.model import MEMHDModel
+from repro.eval.reporting import format_table
+
+
+def test_compression_pruning_curve(benchmark, mnist):
+    def run():
+        model = MEMHDModel(
+            mnist.num_features,
+            mnist.num_classes,
+            MEMHDConfig(dimension=128, columns=128, epochs=BENCH_EPOCHS, seed=0),
+            rng=0,
+        )
+        model.fit(mnist.train_features, mnist.train_labels)
+        am = model.associative_memory
+        train_queries = model.encode_binary(mnist.train_features).astype(np.float64)
+        test_queries = model.encode_binary(mnist.test_features).astype(np.float64)
+
+        results = []
+        for target in (128, 96, 64, 32, 16, mnist.num_classes):
+            pruned, report = prune_centroids(
+                am, train_queries, mnist.train_labels, target_columns=target
+            )
+            accuracy = float(np.mean(pruned.predict(test_queries) == mnist.test_labels))
+            results.append(
+                {
+                    "columns": pruned.num_columns,
+                    "removed": report.columns_removed,
+                    "am_kib": pruned.memory_bits() / 8192,
+                    "test_accuracy_%": 100.0 * accuracy,
+                }
+            )
+        merged, merge_report = merge_similar_centroids(am, max_hamming_fraction=0.02)
+        merged_accuracy = float(
+            np.mean(merged.predict(test_queries) == mnist.test_labels)
+        )
+        return results, merge_report, merged_accuracy
+
+    results, merge_report, merged_accuracy = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    body = format_table(results, float_format="{:.1f}")
+    body += (
+        f"\nnear-duplicate merge (<=2% Hamming): removed "
+        f"{merge_report.columns_removed} columns, accuracy {merged_accuracy * 100:.1f}%"
+    )
+    print_section(
+        "Post-training AM compression: usage-ranked pruning (MEMHD 128x128, MNIST profile)",
+        body,
+    )
+
+    by_columns = {row["columns"]: row for row in results}
+    full = by_columns[128]["test_accuracy_%"]
+    chance = 100.0 / mnist.num_classes
+    # Halving the AM keeps most of the accuracy; single-centroid-per-class is
+    # the worst point of the curve (that is exactly the regime the paper's
+    # multi-centroid design escapes).
+    assert by_columns[64]["test_accuracy_%"] >= full - 20.0
+    assert by_columns[mnist.num_classes]["test_accuracy_%"] <= by_columns[64]["test_accuracy_%"] + 1.0
+    assert all(row["test_accuracy_%"] > chance for row in results)
+    # Merging near-duplicates is (almost) free.
+    assert merged_accuracy * 100.0 >= full - 5.0

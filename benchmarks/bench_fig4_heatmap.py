@@ -1,0 +1,69 @@
+"""Fig. 4 -- MEMHD accuracy heatmap over dimensions and columns (experiment E3).
+
+The paper sweeps D and C from 64 to 1024 on all three datasets; this
+benchmark sweeps a reduced 64--256 grid (configurable) at benchmark scale
+and prints the heatmap.  The qualitative findings checked here:
+
+* accuracy improves with dimension (better encoding quality), and
+* for the large-sample image profiles more columns help, while ISOLET's
+  small per-class sample count means extra columns stop paying off
+  (the overfitting effect the paper discusses).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+from conftest import BENCH_EPOCHS, print_section
+
+from repro.core.config import MEMHDConfig
+from repro.eval.experiments import grid_sweep
+from repro.eval.reporting import format_heatmap
+
+
+def _grid_points():
+    """Grid of (dimensions, columns); extend via REPRO_BENCH_FULL_GRID=1."""
+    if os.environ.get("REPRO_BENCH_FULL_GRID"):
+        return (64, 128, 256, 512, 1024), (64, 128, 256, 512, 1024)
+    return (64, 128, 256), (32, 64, 128, 256)
+
+
+@pytest.mark.parametrize("dataset_name", ["mnist", "fmnist", "isolet"])
+def test_fig4_accuracy_heatmap(benchmark, dataset_name, request):
+    dataset = request.getfixturevalue(dataset_name)
+    dimensions, columns = _grid_points()
+    base = MEMHDConfig(
+        dimension=dimensions[0],
+        columns=max(columns[0], dataset.num_classes),
+        epochs=BENCH_EPOCHS,
+        seed=0,
+    )
+
+    def run():
+        return grid_sweep(dataset, dimensions, columns, base_config=base, rng=11)
+
+    grid = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_section(
+        f"Fig. 4 ({dataset_name.upper()}): MEMHD accuracy (%) over D (rows) x C (columns)",
+        format_heatmap(grid),
+    )
+
+    # Shape check 1: the largest dimension beats the smallest dimension when
+    # the column budget is held at its maximum value.
+    widest_column = max(c for d, c in grid if (max(dimensions), c) in grid)
+    assert grid[(max(dimensions), widest_column)] >= grid[(min(dimensions), widest_column)] - 0.02
+
+    # Shape check 2: accuracy everywhere beats chance.
+    chance = 1.0 / dataset.num_classes
+    assert all(value > chance for value in grid.values())
+
+    # Shape check 3 (image profiles only): at the largest dimension, the
+    # widest AM is at least as good as the narrowest one -- more centroids
+    # help when there are enough samples per class.
+    if dataset_name in ("mnist", "fmnist"):
+        columns_at_max_d = sorted(c for d, c in grid if d == max(dimensions))
+        narrow = grid[(max(dimensions), columns_at_max_d[0])]
+        wide = grid[(max(dimensions), columns_at_max_d[-1])]
+        assert wide >= narrow - 0.02

@@ -1,0 +1,62 @@
+"""Fig. 6 -- accuracy vs. the initial cluster ratio R (experiment E5).
+
+The paper sweeps R from 0.1 to 1.0 on FMNIST (512x512 and 512x64) and
+ISOLET and finds that R has little effect when the AM is large relative to
+the class count but matters when columns are scarce, with the best values in
+the 0.8--1.0 range.  This benchmark sweeps R at benchmark scale on a large
+and a small column budget and prints both curves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from conftest import BENCH_EPOCHS, print_section
+
+from repro.core.config import MEMHDConfig
+from repro.eval.experiments import cluster_ratio_sweep
+from repro.eval.reporting import format_table
+
+RATIOS = (0.2, 0.4, 0.6, 0.8, 1.0)
+
+#: (dataset fixture, D, C) pairs: a column-rich and a column-poor setup, the
+#: scaled analogue of the paper's 512x512 vs 512x64 comparison.
+SETUPS = [
+    ("fmnist", 128, 128),
+    ("fmnist", 128, 32),
+    ("isolet", 128, 52),
+]
+
+
+@pytest.mark.parametrize("dataset_name,dimension,columns", SETUPS)
+def test_fig6_cluster_ratio_sweep(benchmark, dataset_name, dimension, columns, request):
+    dataset = request.getfixturevalue(dataset_name)
+    config = MEMHDConfig(
+        dimension=dimension,
+        columns=columns,
+        epochs=BENCH_EPOCHS,
+        seed=0,
+    )
+
+    def run():
+        return cluster_ratio_sweep(dataset, config, RATIOS, rng=13)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        {"R": ratio, "accuracy_%": 100.0 * accuracy}
+        for ratio, accuracy in sorted(results.items())
+    ]
+    print_section(
+        f"Fig. 6 ({dataset_name.upper()} {dimension}x{columns}): accuracy vs cluster ratio R",
+        format_table(rows, float_format="{:.1f}"),
+    )
+
+    values = np.array([results[r] for r in RATIOS])
+    chance = 1.0 / dataset.num_classes
+    assert np.all(values > chance)
+    # R is a mild hyperparameter: the spread across the sweep stays bounded
+    # (the paper's curves move by a few points, not tens of points).  Which
+    # end of the range wins depends on the dataset and the column budget, so
+    # only the bounded-spread property is asserted; the printed curve records
+    # the measured optimum for EXPERIMENTS.md.
+    assert values.max() - values.min() < 0.25

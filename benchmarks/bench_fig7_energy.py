@@ -1,0 +1,76 @@
+"""Fig. 7 -- normalized AM energy, cycles and array usage (experiment E7).
+
+The paper compares the associative memories of iso-accuracy configurations
+on FMNIST when mapped to 128x128 arrays: BasicHDC (10240D, also partitioned
+P=10), SearcHD (8000D, also P=10), QuantHD (1600D, also P=10), LeHDC (400D,
+also P=4) and MEMHD (128x128).  Energy tracks the number of array
+activations (cycles), so partitioning reduces arrays but not energy, and
+MEMHD's single-array single-cycle search is 80x more energy-efficient than
+BasicHDC and 4x more than LeHDC.  This benchmark regenerates the normalized
+bars from the cost model.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import print_section
+
+from repro.eval.reporting import format_table
+from repro.imc.analysis import energy_comparison
+from repro.imc.array import IMCArrayConfig
+
+#: The Fig. 7 model structures (AM only; k = 10 classes on FMNIST).
+FIG7_MODELS = [
+    {"name": "BasicHDC 10240x10", "dimension": 10240, "num_vectors": 10},
+    {"name": "BasicHDC 1024x100 (P=10)", "dimension": 1024, "num_vectors": 100, "partitions": 10},
+    {"name": "SearcHD 8000x10", "dimension": 8000, "num_vectors": 10},
+    {"name": "SearcHD 800x100 (P=10)", "dimension": 800, "num_vectors": 100, "partitions": 10},
+    {"name": "QuantHD 1600x10", "dimension": 1600, "num_vectors": 10},
+    {"name": "QuantHD 160x100 (P=10)", "dimension": 160, "num_vectors": 100, "partitions": 10},
+    {"name": "LeHDC 400x10", "dimension": 400, "num_vectors": 10},
+    {"name": "LeHDC 100x40 (P=4)", "dimension": 100, "num_vectors": 40, "partitions": 4},
+    {"name": "MEMHD 128x128", "dimension": 128, "num_vectors": 128},
+]
+
+
+def test_fig7_normalized_am_energy_and_cycles(benchmark):
+    entries = benchmark(
+        energy_comparison, FIG7_MODELS, array=IMCArrayConfig(128, 128)
+    )
+    rows = [entry.as_dict() for entry in entries]
+    print_section(
+        "Fig. 7: normalized AM energy, cycles and array usage (128x128 arrays, FMNIST-equivalent sizes)",
+        format_table(
+            rows,
+            columns=[
+                "model",
+                "am_structure",
+                "arrays",
+                "cycles",
+                "normalized_energy",
+                "normalized_cycles",
+                "normalized_arrays",
+            ],
+            float_format="{:.1f}",
+        ),
+    )
+
+    by_name = {entry.model: entry for entry in entries}
+    memhd = by_name["MEMHD 128x128"]
+
+    # MEMHD: single cycle, single array, minimal energy.
+    assert memhd.cycles == 1
+    assert memhd.arrays == 1
+    assert memhd.normalized_energy == min(e.normalized_energy for e in entries)
+
+    # Partitioning halves/eighths the arrays but keeps energy constant.
+    assert by_name["BasicHDC 10240x10"].energy_pj == pytest.approx(
+        by_name["BasicHDC 1024x100 (P=10)"].energy_pj
+    )
+    assert by_name["BasicHDC 1024x100 (P=10)"].arrays < by_name["BasicHDC 10240x10"].arrays
+
+    # The paper's headline efficiency ratios.
+    assert by_name["BasicHDC 10240x10"].energy_pj / memhd.energy_pj == pytest.approx(80.0)
+    assert by_name["LeHDC 400x10"].energy_pj / memhd.energy_pj == pytest.approx(4.0)
+    assert by_name["SearcHD 8000x10"].energy_pj / memhd.energy_pj == pytest.approx(63.0, rel=0.02)
+    assert by_name["QuantHD 1600x10"].energy_pj / memhd.energy_pj == pytest.approx(13.0, rel=0.03)

@@ -1,0 +1,115 @@
+"""Extension benchmark (experiment E9): robustness to IMC device non-idealities.
+
+HDC's appeal on emerging-memory substrates is its tolerance of bit errors
+and analog noise; the paper relies on that robustness implicitly when it
+maps the binary AM onto IMC cells.  This benchmark maps a trained MEMHD
+model onto 128x128 arrays with the functional simulator, injects increasing
+cell bit-flip rates and analog read noise, and reports the resulting test
+accuracy -- demonstrating graceful degradation rather than cliff-edge
+failure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from conftest import BENCH_EPOCHS, print_section
+
+from repro.core.config import MEMHDConfig
+from repro.core.model import MEMHDModel
+from repro.eval.reporting import format_table
+from repro.imc.array import IMCArrayConfig
+from repro.imc.noise import NoiseModel
+from repro.imc.simulator import InMemoryInference
+
+FLIP_RATES = (0.0, 0.01, 0.02, 0.05, 0.10, 0.20)
+READ_SIGMAS = (0.0, 1.0, 2.0, 4.0)
+
+
+@pytest.fixture(scope="module")
+def trained_model(request):
+    mnist = request.getfixturevalue("mnist")
+    model = MEMHDModel(
+        mnist.num_features,
+        mnist.num_classes,
+        MEMHDConfig(dimension=128, columns=128, epochs=BENCH_EPOCHS, seed=0),
+        rng=0,
+    )
+    model.fit(mnist.train_features, mnist.train_labels)
+    return mnist, model
+
+
+def test_noise_robustness_bit_flips(benchmark, trained_model):
+    mnist, model = trained_model
+
+    def run():
+        accuracies = {}
+        for rate in FLIP_RATES:
+            trial_values = []
+            for seed in range(3):
+                engine = InMemoryInference(
+                    model,
+                    IMCArrayConfig(128, 128),
+                    noise=NoiseModel(bit_flip_probability=rate),
+                    rng=seed,
+                )
+                predictions = engine.predict(mnist.test_features)
+                trial_values.append(float(np.mean(predictions == mnist.test_labels)))
+            accuracies[rate] = float(np.mean(trial_values))
+        return accuracies
+
+    accuracies = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        {"bit_flip_rate": rate, "test_accuracy_%": 100.0 * accuracy}
+        for rate, accuracy in accuracies.items()
+    ]
+    print_section(
+        "Noise robustness: MEMHD 128x128 accuracy vs. cell bit-flip rate (MNIST profile)",
+        format_table(rows, float_format="{:.3g}"),
+    )
+
+    clean = accuracies[0.0]
+    chance = 1.0 / mnist.num_classes
+    assert clean > chance
+    # Graceful degradation rather than a cliff: a 1% cell flip rate (which
+    # corrupts both the projection matrix and the AM) must retain a clear
+    # margin over chance, and accuracy must not *increase* as the flip rate
+    # grows to 20%.
+    assert accuracies[0.01] > chance + 0.3 * (clean - chance)
+    assert accuracies[0.20] <= accuracies[0.01] + 0.05
+
+
+def test_noise_robustness_read_noise(benchmark, trained_model):
+    mnist, model = trained_model
+
+    def run():
+        accuracies = {}
+        for sigma in READ_SIGMAS:
+            engine = InMemoryInference(
+                model,
+                IMCArrayConfig(128, 128),
+                noise=NoiseModel(read_noise_sigma=sigma),
+                rng=1,
+            )
+            predictions = engine.predict(mnist.test_features)
+            accuracies[sigma] = float(np.mean(predictions == mnist.test_labels))
+        return accuracies
+
+    accuracies = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        {"read_noise_sigma": sigma, "test_accuracy_%": 100.0 * accuracy}
+        for sigma, accuracy in accuracies.items()
+    ]
+    print_section(
+        "Noise robustness: MEMHD 128x128 accuracy vs. analog read noise (MNIST profile)",
+        format_table(rows, float_format="{:.3g}"),
+    )
+
+    clean = accuracies[0.0]
+    chance = 1.0 / mnist.num_classes
+    assert clean > chance
+    # Moderate ADC/thermal noise (one count of sigma on a D=128 column sum)
+    # must not collapse accuracy to chance, and heavier noise must not be
+    # better than lighter noise.
+    assert accuracies[1.0] > chance + 0.4 * (clean - chance)
+    assert accuracies[max(READ_SIGMAS)] <= accuracies[min(READ_SIGMAS)] + 0.05

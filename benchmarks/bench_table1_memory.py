@@ -1,0 +1,81 @@
+"""Table I -- memory requirements of the baseline HDC models (experiment E1).
+
+Regenerates the Table I storage formulas for the paper's configurations on
+all three datasets and prints them in KB, alongside the model sizes the
+paper uses in Fig. 3 / Fig. 7.  The pytest-benchmark target measures the
+memory-model evaluation itself (it is pure arithmetic, so it doubles as a
+regression guard on the reporting path).
+"""
+
+from __future__ import annotations
+
+from conftest import print_section
+
+from repro.eval.reporting import format_table
+from repro.hdc.memory_model import model_memory_report
+
+#: (dataset, f, k) triples as used by the paper's evaluation.
+DATASETS = [
+    ("MNIST", 784, 10),
+    ("FMNIST", 784, 10),
+    ("ISOLET", 617, 26),
+]
+
+#: Representative model sizes from the paper (D for baselines, DxC for MEMHD).
+MODEL_POINTS = [
+    ("BasicHDC", {"dimension": 10240}),
+    ("QuantHD", {"dimension": 1600}),
+    ("LeHDC", {"dimension": 400}),
+    ("SearcHD", {"dimension": 8000}),
+    ("MEMHD", {"dimension": 128, "num_columns": 128}),
+    ("MEMHD", {"dimension": 512, "num_columns": 512}),
+]
+
+
+def build_table1_rows():
+    """Compute one row per (dataset, model point) with the Table I formulas."""
+    rows = []
+    for dataset, num_features, num_classes in DATASETS:
+        for model, point in MODEL_POINTS:
+            dimension = point["dimension"]
+            report = model_memory_report(
+                model,
+                num_features=num_features,
+                dimension=dimension,
+                num_classes=num_classes,
+                num_columns=point.get("num_columns"),
+            )
+            label = (
+                f"{dimension}x{point['num_columns']}"
+                if model == "MEMHD"
+                else f"{dimension}D"
+            )
+            rows.append(
+                {
+                    "dataset": dataset,
+                    "model": model,
+                    "size": label,
+                    "encoder_kib": report.encoder_kib,
+                    "am_kib": report.am_kib,
+                    "total_kib": report.total_kib,
+                }
+            )
+    return rows
+
+
+def test_table1_memory_requirements(benchmark):
+    rows = benchmark(build_table1_rows)
+    print_section(
+        "Table I: memory requirements (KB) of HDC model families",
+        format_table(rows, float_format="{:.1f}"),
+    )
+
+    # Shape checks mirroring the paper's qualitative statements.
+    by_key = {(row["dataset"], row["model"], row["size"]): row for row in rows}
+    memhd = by_key[("MNIST", "MEMHD", "128x128")]
+    basic = by_key[("MNIST", "BasicHDC", "10240D")]
+    searchd = by_key[("MNIST", "SearcHD", "8000D")]
+    # MEMHD's total footprint is far below every baseline's.
+    assert memhd["total_kib"] * 10 < basic["total_kib"]
+    # SearcHD's N=64 multi-model AM dominates its footprint.
+    assert searchd["am_kib"] > searchd["encoder_kib"] / 2

@@ -1,0 +1,108 @@
+"""Table II -- computation cycles, arrays and AM utilization (experiment E6).
+
+Regenerates both halves of Table II exactly (the analytical mapping model
+reproduces the paper's integers: 80x cycle reduction and 71x array reduction
+for MNIST/FMNIST, 20x / 17.5x for ISOLET), then cross-checks the MEMHD
+column against the functional tile-level simulator running a real trained
+model on real 128x128 arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from conftest import BENCH_EPOCHS, bench_dataset, print_section
+
+from repro.core.config import MEMHDConfig
+from repro.core.model import MEMHDModel
+from repro.eval.reporting import format_table
+from repro.imc.analysis import full_mapping_report, improvement_factors, table2_rows
+from repro.imc.array import IMCArrayConfig
+from repro.imc.simulator import InMemoryInference
+
+ARRAY = IMCArrayConfig(128, 128)
+
+#: (label, f, k, MEMHD D, MEMHD C, partition counts) for the two table halves.
+TABLE2_SETUPS = [
+    ("(a) MNIST / FMNIST", 784, 10, 128, 128, (5, 10)),
+    ("(b) ISOLET", 617, 26, 512, 128, (2, 4)),
+]
+
+
+def build_table2():
+    """Both halves of Table II as printable rows plus improvement factors."""
+    sections = []
+    for label, f, k, memhd_d, memhd_c, partitions in TABLE2_SETUPS:
+        reports = full_mapping_report(
+            num_features=f,
+            num_classes=k,
+            baseline_dimension=10240,
+            memhd_dimension=memhd_d,
+            memhd_columns=memhd_c,
+            partition_counts=partitions,
+            array=ARRAY,
+        )
+        sections.append((label, reports, improvement_factors(reports)))
+    return sections
+
+
+def test_table2_mapping_analysis(benchmark):
+    sections = benchmark(build_table2)
+    for label, reports, factors in sections:
+        body = format_table(table2_rows(reports), float_format="{:.2f}")
+        body += (
+            f"\nImprovement vs Basic: cycles {factors['cycle_reduction']:.1f}x, "
+            f"arrays {factors['array_reduction']:.1f}x, "
+            f"AM utilization +{factors['utilization_gain'] * 100:.2f} pp"
+        )
+        print_section(f"Table II {label} on {ARRAY.label} IMC arrays", body)
+
+    mnist_factors = sections[0][2]
+    isolet_factors = sections[1][2]
+    # The paper's headline Table II numbers.
+    assert mnist_factors["cycle_reduction"] == pytest.approx(80.0)
+    assert mnist_factors["array_reduction"] == pytest.approx(80.0)
+    assert isolet_factors["cycle_reduction"] == pytest.approx(20.0)
+    assert isolet_factors["array_reduction"] == pytest.approx(20.0)
+    # Paper reports total-arrays improvement of 71x / 17.5x vs the full
+    # baseline pipeline (640 -> 8 ... wait: 640/8 = 80; the 71x figure uses
+    # the best partitioned baseline 568/8).
+    mnist_reports = sections[0][1]
+    best_partitioned = min(report.total_arrays for report in mnist_reports[1:-1])
+    assert best_partitioned / mnist_reports[-1].total_arrays == pytest.approx(71.0)
+    isolet_reports = sections[1][1]
+    best_partitioned_isolet = min(r.total_arrays for r in isolet_reports[1:-1])
+    assert best_partitioned_isolet / isolet_reports[-1].total_arrays == pytest.approx(17.5)
+
+
+def test_table2_functional_simulator_cross_check(benchmark, mnist):
+    """A trained MEMHD 128x128 model mapped on real arrays hits the Table II row."""
+
+    def run():
+        model = MEMHDModel(
+            mnist.num_features,
+            mnist.num_classes,
+            MEMHDConfig(dimension=128, columns=128, epochs=min(BENCH_EPOCHS, 5), seed=0),
+            rng=0,
+        )
+        model.fit(mnist.train_features, mnist.train_labels)
+        engine = InMemoryInference(model, ARRAY)
+        agreement = float(
+            np.mean(
+                engine.predict(mnist.test_features[:100])
+                == model.predict(mnist.test_features[:100])
+            )
+        )
+        return engine.stats(), agreement
+
+    stats, agreement = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_section(
+        "Table II cross-check: functional simulator (MEMHD 128x128, MNIST profile)",
+        format_table([stats.as_dict()], float_format="{:.2f}")
+        + f"\nsoftware/hardware prediction agreement: {agreement * 100:.1f}%",
+    )
+    assert stats.em_cycles_per_inference == 7
+    assert stats.am_cycles_per_inference == 1
+    assert stats.total_arrays == 8
+    assert stats.am_column_utilization == pytest.approx(1.0)
+    assert agreement == pytest.approx(1.0)

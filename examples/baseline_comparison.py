@@ -1,0 +1,131 @@
+#!/usr/bin/env python
+"""Baseline comparison: the Fig. 3 accuracy-vs-memory study as a script.
+
+Trains MEMHD at several DxC sizes plus the four baseline families
+(BasicHDC, QuantHD, SearcHD, LeHDC) on a chosen dataset profile and prints
+the accuracy / memory frontier -- the scriptable version of the Fig. 3
+benchmark, with knobs for dataset scale, epochs and trials.
+
+Run:  python examples/baseline_comparison.py --dataset fmnist --trials 2
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import MEMHDConfig, MEMHDModel, load_dataset
+from repro.baselines import (
+    BasicHDC,
+    BasicHDCConfig,
+    LeHDC,
+    LeHDCConfig,
+    QuantHD,
+    QuantHDConfig,
+    SearcHD,
+    SearcHDConfig,
+)
+from repro.eval.experiments import accuracy_memory_curve
+from repro.eval.reporting import format_accuracy_memory
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dataset", default="fmnist", choices=("mnist", "fmnist", "isolet"))
+    parser.add_argument("--scale", type=float, default=0.02, help="dataset scale (1.0 = paper scale)")
+    parser.add_argument("--epochs", type=int, default=15)
+    parser.add_argument("--trials", type=int, default=1)
+    parser.add_argument("--id-levels", type=int, default=32, help="L for ID-Level baselines")
+    return parser.parse_args()
+
+
+def build_factories(args):
+    """Model factories for the sweep; each gets (f, k, seed) and returns a model."""
+    epochs = args.epochs
+    levels = args.id_levels
+
+    def memhd(dimension, columns):
+        def factory(f, k, seed):
+            return MEMHDModel(
+                f, k, MEMHDConfig(dimension=dimension, columns=columns, epochs=epochs, seed=seed), rng=seed
+            )
+        return f"MEMHD {dimension}x{columns}", factory
+
+    def basic(dimension):
+        def factory(f, k, seed):
+            return BasicHDC(f, k, BasicHDCConfig(dimension=dimension, refine_epochs=epochs, seed=seed))
+        return f"BasicHDC {dimension}D", factory
+
+    def quanthd(dimension):
+        def factory(f, k, seed):
+            return QuantHD(f, k, QuantHDConfig(dimension=dimension, num_levels=levels, epochs=epochs, seed=seed))
+        return f"QuantHD {dimension}D", factory
+
+    def searchd(dimension):
+        def factory(f, k, seed):
+            return SearcHD(
+                f, k, SearcHDConfig(dimension=dimension, num_models=8, num_levels=levels, epochs=1, seed=seed)
+            )
+        return f"SearcHD {dimension}D", factory
+
+    def lehdc(dimension):
+        def factory(f, k, seed):
+            return LeHDC(
+                f, k,
+                LeHDCConfig(dimension=dimension, num_levels=levels, epochs=epochs, learning_rate=0.1, seed=seed),
+            )
+        return f"LeHDC {dimension}D", factory
+
+    if args.dataset == "isolet":
+        memhd_points = [memhd(128, 128), memhd(256, 128), memhd(512, 128)]
+    else:
+        memhd_points = [memhd(64, 64), memhd(128, 128), memhd(256, 256)]
+    return memhd_points + [
+        basic(512),
+        basic(2048),
+        quanthd(512),
+        searchd(512),
+        lehdc(256),
+        lehdc(512),
+    ]
+
+
+def main() -> None:
+    args = parse_args()
+    dataset = load_dataset(args.dataset, scale=args.scale, rng=0)
+    print("dataset:", dataset.summary())
+
+    records = accuracy_memory_curve(
+        dataset, build_factories(args), trials=args.trials, rng=7
+    )
+    print(
+        "\n"
+        + format_accuracy_memory(
+            records, title=f"Accuracy vs memory on {args.dataset} (scale={args.scale})"
+        )
+    )
+
+    best_baseline = max(
+        (record for record in records if record.model != "MEMHD"),
+        key=lambda record: record.test_accuracy,
+    )
+    competitive = [
+        record
+        for record in records
+        if record.model == "MEMHD"
+        and record.test_accuracy >= best_baseline.test_accuracy - 0.02
+    ]
+    if competitive:
+        smallest = min(competitive, key=lambda record: record.memory_kib)
+        ratio = best_baseline.memory_kib / smallest.memory_kib
+        print(
+            f"\n{smallest.label} matches the best baseline ({best_baseline.label}, "
+            f"{best_baseline.test_accuracy * 100:.1f}%) within 2 points using "
+            f"{ratio:.1f}x less memory."
+        )
+    else:
+        print("\nNo MEMHD point matched the best baseline at this scale; "
+              "increase --epochs or the MEMHD sizes to push the frontier.")
+
+
+if __name__ == "__main__":
+    main()

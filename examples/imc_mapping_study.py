@@ -1,0 +1,134 @@
+#!/usr/bin/env python
+"""IMC mapping study: how MEMHD, basic and partitioned mappings use arrays.
+
+Reproduces the Table II / Fig. 7 analysis for a configurable dataset and
+array geometry, then cross-checks the MEMHD column against the functional
+tile-level simulator with a real trained model.  Use this script to explore
+"what if" questions the paper's fixed 128x128 setting cannot answer, e.g.
+
+* How do the cycle/array counts change on a 256x256 or 64x64 macro?
+* At which partition count does the partitioned baseline stop saving arrays?
+* What does the energy picture look like with your own cost constants?
+
+Run:  python examples/imc_mapping_study.py [--rows 128] [--cols 128]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import IMCArrayConfig, InMemoryInference, MEMHDConfig, MEMHDModel, load_dataset
+from repro.eval.reporting import format_table
+from repro.imc.analysis import (
+    energy_comparison,
+    full_mapping_report,
+    improvement_factors,
+    table2_rows,
+)
+from repro.imc.cost_model import CostModel, IMCCostParameters
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rows", type=int, default=128, help="IMC array rows")
+    parser.add_argument("--cols", type=int, default=128, help="IMC array columns")
+    parser.add_argument(
+        "--dataset", default="mnist", choices=("mnist", "fmnist", "isolet")
+    )
+    parser.add_argument(
+        "--baseline-dimension", type=int, default=10240,
+        help="dimensionality of the Basic/Partitioning baselines",
+    )
+    parser.add_argument(
+        "--mvm-energy-pj", type=float, default=None,
+        help="override the per-activation MVM energy of the cost model",
+    )
+    return parser.parse_args()
+
+
+def main() -> None:
+    args = parse_args()
+    array = IMCArrayConfig(args.rows, args.cols)
+    dataset = load_dataset(args.dataset, scale=0.03, rng=1)
+    num_features = dataset.num_features
+    num_classes = dataset.num_classes
+
+    # MEMHD sized to the array: D = rows (or a small multiple for many-class
+    # datasets), C = cols.
+    memhd_dimension = array.rows if num_classes <= array.cols else array.rows * 4
+    memhd_columns = array.cols
+    partitions = (5, 10) if args.baseline_dimension % 5 == 0 else (2, 4)
+
+    # ------------------------------------------------------- Table II view
+    reports = full_mapping_report(
+        num_features=num_features,
+        num_classes=num_classes,
+        baseline_dimension=args.baseline_dimension,
+        memhd_dimension=memhd_dimension,
+        memhd_columns=memhd_columns,
+        partition_counts=partitions,
+        array=array,
+    )
+    print(
+        format_table(
+            table2_rows(reports),
+            title=f"Mapping analysis on {array.label} arrays ({args.dataset})",
+        )
+    )
+    factors = improvement_factors(reports)
+    print(
+        f"\nMEMHD vs Basic: {factors['cycle_reduction']:.1f}x fewer cycles, "
+        f"{factors['array_reduction']:.1f}x fewer arrays, "
+        f"+{factors['utilization_gain'] * 100:.1f} pp AM utilization"
+    )
+
+    # ---------------------------------------------------------- Fig 7 view
+    cost_model = None
+    if args.mvm_energy_pj is not None:
+        cost_model = CostModel(
+            IMCCostParameters(mvm_energy_pj=args.mvm_energy_pj), array=array
+        )
+    entries = energy_comparison(
+        [
+            {"name": "Basic", "dimension": args.baseline_dimension, "num_vectors": num_classes},
+            {
+                "name": f"Partitioned (P={partitions[-1]})",
+                "dimension": args.baseline_dimension // partitions[-1],
+                "num_vectors": num_classes * partitions[-1],
+                "partitions": partitions[-1],
+            },
+            {"name": "MEMHD", "dimension": memhd_dimension, "num_vectors": memhd_columns},
+        ],
+        array=array,
+        cost_model=cost_model,
+    )
+    print(
+        "\n"
+        + format_table(
+            [entry.as_dict() for entry in entries],
+            columns=["model", "am_structure", "arrays", "cycles", "energy_pj", "normalized_energy"],
+            float_format="{:.1f}",
+            title="Associative-memory energy comparison",
+        )
+    )
+
+    # --------------------------------------------- functional cross-check
+    model = MEMHDModel(
+        num_features,
+        num_classes,
+        MEMHDConfig(dimension=memhd_dimension, columns=memhd_columns, epochs=10, seed=2),
+        rng=2,
+    )
+    model.fit(dataset.train_features, dataset.train_labels)
+    engine = InMemoryInference(model, array)
+    stats = engine.stats()
+    agreement = engine.matches_software_model(dataset.test_features[:100])
+    print(
+        f"\nFunctional simulation of the trained MEMHD {model.shape_label} model: "
+        f"{stats.total_arrays} arrays, {stats.total_cycles_per_inference} cycles/inference, "
+        f"bit-exact vs software: {agreement}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Online adaptation: streaming updates and new-class addition in the field.
+
+MEMHD targets resource-constrained edge deployments, where two maintenance
+operations matter after the model has been flashed into the IMC array:
+
+1. **streaming refinement** -- folding newly labelled samples into the
+   deployed binary AM without re-running clustering (``OnlineMEMHD.partial_fit``),
+2. **class addition** -- teaching the model a class that did not exist at
+   training time while keeping the AM exactly one array in size
+   (``OnlineMEMHD.add_class``).
+
+This script trains MEMHD on a subset of classes, then streams the remaining
+data and finally adds a brand-new class, reporting accuracy after each step.
+
+Run:  python examples/online_learning.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import MEMHDConfig, MEMHDModel
+from repro.core.online import OnlineMEMHD
+from repro.data.synthetic import SyntheticSpec, make_synthetic_dataset
+from repro.eval.reporting import format_table
+
+
+def main() -> None:
+    # A 6-class workload; the model is initially trained on classes 0-4 and
+    # class 5 arrives only after deployment.
+    spec = SyntheticSpec(
+        num_classes=6,
+        num_features=64,
+        train_per_class=150,
+        test_per_class=40,
+        modes_per_class=4,
+        latent_dim=12,
+        class_separation=3.0,
+        noise_scale=0.35,
+    )
+    dataset = make_synthetic_dataset("edge-stream", spec, rng=3)
+    known = dataset.train_labels < 5
+    novel = ~known
+
+    model = MEMHDModel(
+        dataset.num_features,
+        5,  # only the initially-known classes
+        MEMHDConfig(dimension=128, columns=60, epochs=15, seed=0),
+        rng=0,
+    )
+    model.fit(dataset.train_features[known], dataset.train_labels[known])
+
+    online = OnlineMEMHD(model, learning_rate=0.03, rng=np.random.default_rng(1))
+    test_known = dataset.test_labels < 5
+
+    rows = []
+
+    def record(stage: str) -> None:
+        known_accuracy = online.evaluate(
+            dataset.test_features[test_known], dataset.test_labels[test_known]
+        )
+        overall = online.evaluate(dataset.test_features, dataset.test_labels)
+        rows.append(
+            {
+                "stage": stage,
+                "classes": online.num_classes,
+                "known-class accuracy_%": 100.0 * known_accuracy,
+                "all-class accuracy_%": 100.0 * overall,
+            }
+        )
+
+    record("after initial training (classes 0-4)")
+
+    # ----------------------------------------------------- streaming phase
+    stream_x = dataset.train_features[known]
+    stream_y = dataset.train_labels[known]
+    order = np.random.default_rng(2).permutation(stream_x.shape[0])
+    for start in range(0, order.size, 64):
+        batch = order[start : start + 64]
+        online.partial_fit(stream_x[batch], stream_y[batch])
+    record("after streaming refinement")
+
+    # -------------------------------------------------- class-addition phase
+    new_class_samples = dataset.train_features[novel]
+    online.add_class(new_class_samples, new_label=5, columns=8)
+    for _ in range(5):
+        online.partial_fit(dataset.train_features, dataset.train_labels)
+    record("after adding class 5 (8 columns, AM size unchanged)")
+
+    print(format_table(rows, float_format="{:.1f}", title="Online adaptation"))
+    columns_per_class = model.associative_memory.columns_per_class()
+    print("\ncolumns per class after adaptation:", columns_per_class)
+    print("total AM columns:", model.associative_memory.num_columns,
+          "(unchanged - still fits the same IMC array)")
+
+
+if __name__ == "__main__":
+    main()

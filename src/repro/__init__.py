@@ -1,0 +1,54 @@
+"""MEMHD reproduction library.
+
+A production-quality, pure-Python reproduction of *MEMHD: Memory-Efficient
+Multi-Centroid Hyperdimensional Computing for Fully-Utilized In-Memory
+Computing Architectures* (DATE 2025), together with every substrate the
+paper depends on:
+
+* :mod:`repro.hdc` -- hyperdimensional-computing building blocks
+  (hypervectors, encoders, similarity, clustering, memory model),
+* :mod:`repro.data` -- dataset loaders and synthetic workload generators,
+* :mod:`repro.baselines` -- BasicHDC, QuantHD, SearcHD and LeHDC baselines,
+* :mod:`repro.core` -- the MEMHD model (multi-centroid associative memory,
+  clustering-based initialization, quantization-aware iterative learning),
+* :mod:`repro.imc` -- in-memory-computing array model, mapping analysis,
+  cost model and a bit-exact functional inference simulator,
+* :mod:`repro.eval` -- metrics, experiment runners and report formatting.
+
+Quickstart::
+
+    from repro import MEMHDModel, MEMHDConfig, load_dataset
+
+    dataset = load_dataset("mnist", scale=0.05)
+    model = MEMHDModel(
+        dataset.num_features,
+        dataset.num_classes,
+        MEMHDConfig(dimension=128, columns=128, epochs=10, seed=7),
+    )
+    model.fit(dataset.train_features, dataset.train_labels)
+    print("test accuracy:", model.score(dataset.test_features, dataset.test_labels))
+"""
+
+from repro.core.config import MEMHDConfig
+from repro.core.model import MEMHDModel
+from repro.core.associative_memory import MultiCentroidAM
+from repro.baselines import BasicHDC, QuantHD, SearcHD, LeHDC
+from repro.data import load_dataset, Dataset
+from repro.imc import IMCArrayConfig, InMemoryInference
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MEMHDConfig",
+    "MEMHDModel",
+    "MultiCentroidAM",
+    "BasicHDC",
+    "QuantHD",
+    "SearcHD",
+    "LeHDC",
+    "load_dataset",
+    "Dataset",
+    "IMCArrayConfig",
+    "InMemoryInference",
+    "__version__",
+]

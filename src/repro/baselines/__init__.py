@@ -1,0 +1,43 @@
+"""Baseline binary HDC classifiers the paper compares against (Table I).
+
+All baselines implement the :class:`repro.baselines.base.HDCClassifier`
+interface shared with :class:`repro.core.model.MEMHDModel`, so the
+evaluation harness and the benchmarks can iterate over them uniformly.
+
+* :class:`BasicHDC` -- random-projection encoding, single-pass (plus
+  optional plain iterative refinement); the only baseline whose encoding
+  and search are both MVM-compatible, hence the IMC mapping baseline of
+  Table II.
+* :class:`QuantHD` -- ID-Level encoding with quantization-aware iterative
+  learning (Imani et al., 2019).
+* :class:`SearcHD` -- ID-Level encoding with a multi-model (N binary
+  vectors per class) stochastically-trained associative memory
+  (Imani et al., 2019).
+* :class:`LeHDC` -- ID-Level encoding with BNN-style gradient training of
+  the binary class vectors (Duan et al., DAC 2022).
+* :class:`OnlineHD` -- similarity-weighted floating-point HDC
+  (Hernandez-Cano et al., DATE 2021); not part of the paper's Table I but
+  included as the standard stronger non-binary baseline.
+"""
+
+from repro.baselines.base import HDCClassifier, TrainingHistory
+from repro.baselines.basic_hdc import BasicHDC, BasicHDCConfig
+from repro.baselines.quanthd import QuantHD, QuantHDConfig
+from repro.baselines.searchd import SearcHD, SearcHDConfig
+from repro.baselines.lehdc import LeHDC, LeHDCConfig
+from repro.baselines.onlinehd import OnlineHD, OnlineHDConfig
+
+__all__ = [
+    "HDCClassifier",
+    "TrainingHistory",
+    "BasicHDC",
+    "BasicHDCConfig",
+    "QuantHD",
+    "QuantHDConfig",
+    "SearcHD",
+    "SearcHDConfig",
+    "LeHDC",
+    "LeHDCConfig",
+    "OnlineHD",
+    "OnlineHDConfig",
+]

@@ -1,0 +1,135 @@
+"""Shared classifier interface and training-history record.
+
+Every model in the repository (the four baselines and MEMHD itself) exposes
+the same minimal scikit-learn-like surface:
+
+``fit(features, labels) -> TrainingHistory``
+    Train on raw feature vectors (the model owns its encoder).
+``predict(features) -> labels``
+    Classify raw feature vectors.
+``score(features, labels) -> float``
+    Convenience accuracy.
+``memory_report() -> MemoryReport``
+    Table I storage breakdown of the trained (or configured) model.
+
+Keeping the interface identical across models is what lets the Fig. 3 /
+Fig. 7 benchmarks sweep over heterogeneous model families with one loop.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.eval.metrics import accuracy
+from repro.hdc.memory_model import MemoryReport
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch training telemetry returned by ``fit``.
+
+    Attributes
+    ----------
+    train_accuracy:
+        Accuracy measured on the training split at the end of each epoch
+        (after the binary-memory refresh for quantization-aware models).
+    validation_accuracy:
+        Accuracy on a held-out split, when the caller provided one.
+    updates:
+        Number of class-vector updates (mispredictions acted upon) per
+        epoch; useful to observe convergence.
+    initial_accuracy:
+        Accuracy of the model immediately after initialization, before any
+        iterative learning (the quantity Fig. 5 compares between clustering
+        and random-sampling initialization).
+    """
+
+    train_accuracy: List[float] = field(default_factory=list)
+    validation_accuracy: List[float] = field(default_factory=list)
+    updates: List[int] = field(default_factory=list)
+    initial_accuracy: Optional[float] = None
+
+    @property
+    def epochs(self) -> int:
+        return len(self.train_accuracy)
+
+    @property
+    def best_train_accuracy(self) -> float:
+        if not self.train_accuracy:
+            raise ValueError("history is empty")
+        return max(self.train_accuracy)
+
+    @property
+    def final_train_accuracy(self) -> float:
+        if not self.train_accuracy:
+            raise ValueError("history is empty")
+        return self.train_accuracy[-1]
+
+    def epochs_to_reach(self, threshold: float) -> Optional[int]:
+        """First epoch (1-based) whose train accuracy reaches ``threshold``.
+
+        Returns ``None`` when the threshold is never reached; used by the
+        Fig. 5 convergence-speed comparison.
+        """
+        for epoch, value in enumerate(self.train_accuracy, start=1):
+            if value >= threshold:
+                return epoch
+        return None
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "train_accuracy": list(self.train_accuracy),
+            "validation_accuracy": list(self.validation_accuracy),
+            "updates": list(self.updates),
+            "initial_accuracy": self.initial_accuracy,
+            "epochs": self.epochs,
+        }
+
+
+class HDCClassifier(abc.ABC):
+    """Abstract base class for every HDC classifier in the repository."""
+
+    #: Human-readable family name matching Table I (set by subclasses).
+    name: str = "HDCClassifier"
+
+    @abc.abstractmethod
+    def fit(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        validation: Optional[tuple] = None,
+    ) -> TrainingHistory:
+        """Train the classifier on raw features and integer labels."""
+
+    @abc.abstractmethod
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predict integer class labels for raw features."""
+
+    @abc.abstractmethod
+    def memory_report(self) -> MemoryReport:
+        """Table I storage breakdown of this model instance."""
+
+    def score(self, features: np.ndarray, labels: np.ndarray) -> float:
+        """Accuracy of :meth:`predict` against ``labels``."""
+        return accuracy(self.predict(features), np.asarray(labels))
+
+    def _check_fit_inputs(
+        self, features: np.ndarray, labels: np.ndarray
+    ) -> tuple:
+        x = np.asarray(features, dtype=np.float64)
+        y = np.asarray(labels, dtype=np.int64)
+        if x.ndim != 2:
+            raise ValueError(f"features must be 2-D, got ndim={x.ndim}")
+        if y.ndim != 1:
+            raise ValueError(f"labels must be 1-D, got ndim={y.ndim}")
+        if x.shape[0] != y.shape[0]:
+            raise ValueError("features and labels must have the same length")
+        if x.shape[0] == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        if np.any(y < 0):
+            raise ValueError("labels must be non-negative integers")
+        return x, y

@@ -1,0 +1,159 @@
+"""QuantHD: quantization-aware iterative learning for binary HDC.
+
+QuantHD (Imani et al., TCAD 2019) keeps two copies of the associative
+memory: a floating-point "shadow" memory that accumulates the iterative
+updates and a binary (sign-quantized) memory used for every similarity
+evaluation.  Predictions during training are made against the *binary*
+memory, so the updates compensate for the quantization error -- the idea
+MEMHD extends to its multi-centroid memory (paper Sec. III-C references
+QuantHD as prior work [13]).
+
+The paper's evaluation runs QuantHD with ID-Level encoding (L = 256).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.baselines.base import HDCClassifier, TrainingHistory
+from repro.hdc.encoders import IDLevelEncoder
+from repro.hdc.hypervector import _as_generator, bipolarize
+from repro.hdc.memory_model import MemoryReport, model_memory_report
+from repro.hdc.similarity import dot_similarity
+from repro.eval.metrics import accuracy
+
+
+@dataclass(frozen=True)
+class QuantHDConfig:
+    """Configuration of a :class:`QuantHD` classifier.
+
+    Attributes
+    ----------
+    dimension:
+        Hypervector dimensionality ``D``.
+    num_levels:
+        Number of ID-Level quantization levels ``L`` (paper uses 256).
+    epochs:
+        Quantization-aware iterative-learning epochs.
+    learning_rate:
+        Update step size ``alpha``.
+    seed:
+        Seed for encoder construction.
+    """
+
+    dimension: int = 2048
+    num_levels: int = 256
+    epochs: int = 20
+    learning_rate: float = 0.05
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.dimension <= 0:
+            raise ValueError("dimension must be positive")
+        if self.num_levels < 2:
+            raise ValueError("num_levels must be >= 2")
+        if self.epochs < 0:
+            raise ValueError("epochs must be non-negative")
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+
+
+class QuantHD(HDCClassifier):
+    """ID-Level encoded HDC with quantization-aware iterative learning."""
+
+    name = "QuantHD"
+
+    def __init__(
+        self,
+        num_features: int,
+        num_classes: int,
+        config: Optional[QuantHDConfig] = None,
+        rng: Optional[Union[int, np.random.Generator]] = None,
+    ) -> None:
+        if num_features <= 0 or num_classes <= 0:
+            raise ValueError("num_features and num_classes must be positive")
+        self.config = config or QuantHDConfig()
+        self.num_features = int(num_features)
+        self.num_classes = int(num_classes)
+        seed = self.config.seed if rng is None else rng
+        self._rng = _as_generator(seed)
+        self.encoder = IDLevelEncoder(
+            num_features,
+            self.config.dimension,
+            num_levels=self.config.num_levels,
+            rng=self._rng,
+        )
+        self._fp_am: Optional[np.ndarray] = None
+        self._binary_am: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ API
+    def fit(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        validation: Optional[tuple] = None,
+    ) -> TrainingHistory:
+        x, y = self._check_fit_inputs(features, labels)
+        encoded = self.encoder.encode(x).astype(np.float64)
+        history = TrainingHistory()
+
+        # Single-pass construction of the FP memory, then sign quantization.
+        fp_am = np.zeros((self.num_classes, self.config.dimension), dtype=np.float64)
+        np.add.at(fp_am, y, encoded)
+        self._fp_am = fp_am
+        self._binary_am = bipolarize(fp_am).astype(np.float64)
+        history.initial_accuracy = accuracy(self._predict_encoded(encoded), y)
+
+        alpha = self.config.learning_rate
+        for _ in range(self.config.epochs):
+            predictions = self._predict_encoded(encoded)
+            wrong = np.flatnonzero(predictions != y)
+            # All predictions in this epoch were made against the same
+            # binary memory, so the updates can be accumulated in bulk.
+            if wrong.size:
+                np.add.at(self._fp_am, y[wrong], alpha * encoded[wrong])
+                np.add.at(self._fp_am, predictions[wrong], -alpha * encoded[wrong])
+            self._binary_am = bipolarize(self._fp_am).astype(np.float64)
+            history.updates.append(int(wrong.size))
+            history.train_accuracy.append(
+                accuracy(self._predict_encoded(encoded), y)
+            )
+            if validation is not None:
+                val_x, val_y = validation
+                history.validation_accuracy.append(self.score(val_x, val_y))
+
+        if not history.train_accuracy:
+            history.train_accuracy.append(history.initial_accuracy)
+        return history
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        if self._binary_am is None:
+            raise RuntimeError("QuantHD.predict called before fit")
+        encoded = self.encoder.encode(np.asarray(features, dtype=np.float64))
+        if encoded.ndim == 1:
+            encoded = encoded[None, :]
+        return self._predict_encoded(encoded.astype(np.float64))
+
+    def memory_report(self) -> MemoryReport:
+        return model_memory_report(
+            "QuantHD",
+            num_features=self.num_features,
+            dimension=self.config.dimension,
+            num_classes=self.num_classes,
+            num_levels=self.config.num_levels,
+        )
+
+    # ------------------------------------------------------------ internals
+    @property
+    def associative_memory(self) -> np.ndarray:
+        """The binary (bipolar) class-vector matrix used for prediction."""
+        if self._binary_am is None:
+            raise RuntimeError("model has not been fitted")
+        return self._binary_am
+
+    def _predict_encoded(self, encoded: np.ndarray) -> np.ndarray:
+        scores = dot_similarity(encoded, self._binary_am)
+        return np.argmax(np.atleast_2d(scores), axis=1)

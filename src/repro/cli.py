@@ -1,0 +1,318 @@
+"""Command-line interface for the MEMHD reproduction.
+
+Installed as ``memhd-repro`` (see ``pyproject.toml``); also runnable as
+``python -m repro.cli``.  Four subcommands cover the everyday workflows:
+
+``memhd-repro info --dataset mnist``
+    Print the dataset profile (features, classes, per-class budgets).
+
+``memhd-repro train --dataset fmnist --model memhd --dimension 128 --columns 128``
+    Train one model, report train/test accuracy and the Table I memory
+    breakdown, optionally saving the trained artifacts to an ``.npz``.
+
+``memhd-repro map --dataset mnist --rows 128 --cols 128``
+    Print the Table II mapping analysis (basic / partitioned / MEMHD) for an
+    array geometry.
+
+``memhd-repro sweep --dataset mnist --dimensions 64,128 --columns 64,128``
+    Run the Fig. 4 style accuracy grid and print the heatmap.
+
+Every command accepts ``--scale`` to control how much of the paper-scale
+per-class sample budget the (synthetic or real) dataset provides, and
+``--seed`` for reproducibility.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines import (
+    BasicHDC,
+    BasicHDCConfig,
+    LeHDC,
+    LeHDCConfig,
+    QuantHD,
+    QuantHDConfig,
+    SearcHD,
+    SearcHDConfig,
+)
+from repro.core.config import MEMHDConfig
+from repro.core.model import MEMHDModel
+from repro.data.datasets import available_datasets, load_dataset
+from repro.eval.experiments import grid_sweep
+from repro.eval.reporting import format_heatmap, format_table
+from repro.imc.analysis import full_mapping_report, improvement_factors, table2_rows
+from repro.imc.array import IMCArrayConfig
+
+#: Model families constructible from the command line.
+MODEL_CHOICES = ("memhd", "basichdc", "quanthd", "searchd", "lehdc")
+
+
+def _int_list(text: str) -> List[int]:
+    """Parse a comma-separated list of integers (argparse type)."""
+    try:
+        values = [int(part) for part in text.split(",") if part.strip()]
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(f"not a comma-separated int list: {text!r}") from error
+    if not values:
+        raise argparse.ArgumentTypeError("expected at least one integer")
+    return values
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="memhd-repro",
+        description="MEMHD (DATE 2025) reproduction command-line interface",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_dataset_options(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--dataset", default="mnist", choices=available_datasets(),
+            help="dataset profile to load",
+        )
+        sub.add_argument(
+            "--scale", type=float, default=0.02,
+            help="fraction of the paper-scale per-class sample budget (default 0.02)",
+        )
+        sub.add_argument("--seed", type=int, default=0, help="random seed")
+
+    info = subparsers.add_parser("info", help="print a dataset profile summary")
+    add_dataset_options(info)
+
+    train = subparsers.add_parser("train", help="train and evaluate one model")
+    add_dataset_options(train)
+    train.add_argument("--model", default="memhd", choices=MODEL_CHOICES)
+    train.add_argument("--dimension", type=int, default=128, help="hypervector dimension D")
+    train.add_argument(
+        "--columns", type=int, default=128,
+        help="MEMHD AM columns C (ignored by the baselines)",
+    )
+    train.add_argument("--epochs", type=int, default=20)
+    train.add_argument("--learning-rate", type=float, default=0.05)
+    train.add_argument(
+        "--cluster-ratio", type=float, default=0.8, help="MEMHD initial cluster ratio R"
+    )
+    train.add_argument(
+        "--init", default="clustering", choices=("clustering", "random"),
+        help="MEMHD initialization method",
+    )
+    train.add_argument(
+        "--id-levels", type=int, default=32,
+        help="number of levels L for the ID-Level baselines",
+    )
+    train.add_argument(
+        "--save", default=None, metavar="PATH",
+        help="save the trained binary artifacts to an .npz file",
+    )
+
+    map_cmd = subparsers.add_parser(
+        "map", help="Table II mapping analysis for an IMC array geometry"
+    )
+    add_dataset_options(map_cmd)
+    map_cmd.add_argument("--rows", type=int, default=128, help="IMC array rows")
+    map_cmd.add_argument("--cols", type=int, default=128, help="IMC array columns")
+    map_cmd.add_argument(
+        "--baseline-dimension", type=int, default=10240,
+        help="dimensionality of the Basic/Partitioning baselines",
+    )
+    map_cmd.add_argument(
+        "--memhd-dimension", type=int, default=None,
+        help="MEMHD dimension D (defaults to the array rows)",
+    )
+    map_cmd.add_argument(
+        "--partitions", type=_int_list, default=[5, 10],
+        help="comma-separated partition counts for the partitioned baseline",
+    )
+
+    sweep = subparsers.add_parser("sweep", help="Fig. 4 style accuracy grid over D x C")
+    add_dataset_options(sweep)
+    sweep.add_argument("--dimensions", type=_int_list, default=[64, 128])
+    sweep.add_argument("--columns", type=_int_list, default=[64, 128])
+    sweep.add_argument("--epochs", type=int, default=10)
+
+    return parser
+
+
+# --------------------------------------------------------------------------
+# Command implementations
+# --------------------------------------------------------------------------
+def _build_model(args: argparse.Namespace, num_features: int, num_classes: int):
+    """Instantiate the requested model family from CLI arguments."""
+    if args.model == "memhd":
+        config = MEMHDConfig(
+            dimension=args.dimension,
+            columns=max(args.columns, num_classes),
+            cluster_ratio=args.cluster_ratio,
+            epochs=args.epochs,
+            learning_rate=args.learning_rate,
+            init_method=args.init,
+            seed=args.seed,
+        )
+        return MEMHDModel(num_features, num_classes, config, rng=args.seed)
+    if args.model == "basichdc":
+        return BasicHDC(
+            num_features,
+            num_classes,
+            BasicHDCConfig(
+                dimension=args.dimension,
+                refine_epochs=args.epochs,
+                learning_rate=args.learning_rate,
+                seed=args.seed,
+            ),
+        )
+    if args.model == "quanthd":
+        return QuantHD(
+            num_features,
+            num_classes,
+            QuantHDConfig(
+                dimension=args.dimension,
+                num_levels=args.id_levels,
+                epochs=args.epochs,
+                learning_rate=args.learning_rate,
+                seed=args.seed,
+            ),
+        )
+    if args.model == "searchd":
+        return SearcHD(
+            num_features,
+            num_classes,
+            SearcHDConfig(
+                dimension=args.dimension,
+                num_levels=args.id_levels,
+                num_models=8,
+                epochs=max(1, min(args.epochs, 3)),
+                seed=args.seed,
+            ),
+        )
+    if args.model == "lehdc":
+        return LeHDC(
+            num_features,
+            num_classes,
+            LeHDCConfig(
+                dimension=args.dimension,
+                num_levels=args.id_levels,
+                epochs=args.epochs,
+                learning_rate=max(args.learning_rate, 0.05),
+                seed=args.seed,
+            ),
+        )
+    raise ValueError(f"unknown model {args.model!r}")
+
+
+def _save_artifacts(model, path: str) -> None:
+    """Persist the deployable binary artifacts of a trained model."""
+    arrays = {}
+    if isinstance(model, MEMHDModel):
+        am = model.associative_memory
+        arrays["binary_am"] = am.binary_memory
+        arrays["column_classes"] = am.column_classes
+        arrays["projection"] = model.projection_matrix_binary()
+    else:
+        arrays["associative_memory"] = np.asarray(model.associative_memory)
+    np.savez_compressed(path, **arrays)
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.dataset, scale=args.scale, rng=args.seed)
+    rows = [dataset.summary()]
+    print(format_table(rows, title=f"Dataset profile: {args.dataset}"))
+    counts = dataset.class_counts("train")
+    print(
+        f"train samples per class: min {counts.min()}, max {counts.max()}, "
+        f"mean {counts.mean():.1f}"
+    )
+    return 0
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.dataset, scale=args.scale, rng=args.seed)
+    model = _build_model(args, dataset.num_features, dataset.num_classes)
+    history = model.fit(dataset.train_features, dataset.train_labels)
+    test_accuracy = model.score(dataset.test_features, dataset.test_labels)
+    report = model.memory_report()
+    rows = [
+        {
+            "model": model.name,
+            "dataset": dataset.name,
+            "train_accuracy_%": 100.0 * history.final_train_accuracy,
+            "test_accuracy_%": 100.0 * test_accuracy,
+            "encoder_KB": report.encoder_kib,
+            "am_KB": report.am_kib,
+            "total_KB": report.total_kib,
+        }
+    ]
+    print(format_table(rows, float_format="{:.2f}", title="Training result"))
+    if args.save:
+        _save_artifacts(model, args.save)
+        print(f"saved trained artifacts to {args.save}")
+    return 0
+
+
+def cmd_map(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.dataset, scale=min(args.scale, 0.02), rng=args.seed)
+    array = IMCArrayConfig(args.rows, args.cols)
+    memhd_dimension = args.memhd_dimension or array.rows
+    reports = full_mapping_report(
+        num_features=dataset.num_features,
+        num_classes=dataset.num_classes,
+        baseline_dimension=args.baseline_dimension,
+        memhd_dimension=memhd_dimension,
+        memhd_columns=array.cols,
+        partition_counts=tuple(args.partitions),
+        array=array,
+    )
+    print(
+        format_table(
+            table2_rows(reports),
+            title=f"Mapping analysis on {array.label} arrays ({args.dataset})",
+        )
+    )
+    factors = improvement_factors(reports)
+    print(
+        f"MEMHD vs Basic: {factors['cycle_reduction']:.1f}x fewer cycles, "
+        f"{factors['array_reduction']:.1f}x fewer arrays, "
+        f"+{factors['utilization_gain'] * 100:.1f} pp utilization"
+    )
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.dataset, scale=args.scale, rng=args.seed)
+    base = MEMHDConfig(
+        dimension=args.dimensions[0],
+        columns=max(args.columns[0], dataset.num_classes),
+        epochs=args.epochs,
+        seed=args.seed,
+    )
+    grid = grid_sweep(dataset, args.dimensions, args.columns, base_config=base, rng=args.seed)
+    print(
+        format_heatmap(
+            grid, title=f"MEMHD accuracy (%) over D x C on {args.dataset}"
+        )
+    )
+    return 0
+
+
+COMMANDS = {
+    "info": cmd_info,
+    "train": cmd_train,
+    "map": cmd_map,
+    "sweep": cmd_sweep,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point used by the console script and ``python -m repro.cli``."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the console script
+    sys.exit(main())

@@ -1,0 +1,206 @@
+"""The multi-centroid associative memory (AM).
+
+The AM is a ``C x D`` matrix whose rows ("columns" of the IMC array when
+mapped, hence the paper's ``C`` naming) are class vectors: several rows may
+belong to the same class.  The mapping from AM row to class is held in
+``column_classes``.  Associative search scores a binary query against every
+row with the dot similarity and predicts the class of the best row -- a
+single MVM on a ``D``-row, ``C``-column IMC array (paper Sec. III-D).
+
+Two parallel representations are maintained:
+
+``fp_memory``
+    The floating-point shadow memory accumulating iterative-learning
+    updates.
+``binary_memory``
+    The 1-bit quantized memory actually used for every similarity
+    evaluation (and the only thing mapped into the IMC array).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.quantization import mean_threshold_binarize, normalize_rows
+from repro.hdc.similarity import dot_similarity
+
+
+class MultiCentroidAM:
+    """Multi-centroid associative memory with a column-to-class map.
+
+    Parameters
+    ----------
+    fp_memory:
+        ``(C, D)`` floating-point class-vector matrix (e.g. K-means
+        centroids from the clustering-based initialization).
+    column_classes:
+        ``(C,)`` integer array giving the class each row represents.
+    num_classes:
+        Total number of classes ``k``.  Defaults to
+        ``column_classes.max() + 1``.
+    threshold_mode:
+        Binarization threshold mode passed to
+        :func:`repro.core.quantization.mean_threshold_binarize`.
+    normalization:
+        Row normalization applied by :meth:`refresh_binary`.
+    """
+
+    def __init__(
+        self,
+        fp_memory: np.ndarray,
+        column_classes: np.ndarray,
+        num_classes: Optional[int] = None,
+        threshold_mode: str = "global-mean",
+        normalization: str = "zscore",
+    ) -> None:
+        fp = np.asarray(fp_memory, dtype=np.float64)
+        classes = np.asarray(column_classes, dtype=np.int64)
+        if fp.ndim != 2:
+            raise ValueError("fp_memory must be a 2-D (C, D) array")
+        if classes.ndim != 1 or classes.shape[0] != fp.shape[0]:
+            raise ValueError("column_classes must be 1-D with one entry per AM row")
+        if np.any(classes < 0):
+            raise ValueError("column_classes must be non-negative")
+        inferred = int(classes.max()) + 1 if classes.size else 0
+        self.num_classes = int(num_classes) if num_classes is not None else inferred
+        if self.num_classes < inferred:
+            raise ValueError(
+                "num_classes is smaller than the largest label in column_classes"
+            )
+        missing = set(range(self.num_classes)) - set(int(c) for c in classes)
+        if missing:
+            raise ValueError(
+                f"every class needs at least one column; missing: {sorted(missing)}"
+            )
+        self.fp_memory = fp
+        self.column_classes = classes
+        self.threshold_mode = threshold_mode
+        self.normalization = normalization
+        self.binary_memory = np.zeros_like(fp, dtype=np.int8)
+        self.refresh_binary()
+
+    # ----------------------------------------------------------- properties
+    @property
+    def num_columns(self) -> int:
+        """Total number of class vectors ``C``."""
+        return int(self.fp_memory.shape[0])
+
+    @property
+    def dimension(self) -> int:
+        """Hypervector dimensionality ``D``."""
+        return int(self.fp_memory.shape[1])
+
+    @property
+    def shape_label(self) -> str:
+        """The paper's ``DxC`` shape label."""
+        return f"{self.dimension}x{self.num_columns}"
+
+    def columns_of_class(self, class_label: int) -> np.ndarray:
+        """Indices of the AM rows belonging to ``class_label``."""
+        if not 0 <= class_label < self.num_classes:
+            raise ValueError(f"class_label out of range: {class_label}")
+        return np.flatnonzero(self.column_classes == class_label)
+
+    def columns_per_class(self) -> Dict[int, int]:
+        """Number of centroids allocated to each class."""
+        counts = np.bincount(self.column_classes, minlength=self.num_classes)
+        return {label: int(count) for label, count in enumerate(counts)}
+
+    # ------------------------------------------------------------ inference
+    def scores(self, queries: np.ndarray) -> np.ndarray:
+        """Dot similarity of binary queries against the binary AM.
+
+        Parameters
+        ----------
+        queries:
+            ``(n, D)`` or ``(D,)`` binary ``{0, 1}`` query hypervectors
+            (the output of the binary projection encoder).
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(n, C)`` similarity matrix (or ``(C,)`` for a single query).
+        """
+        arr = np.asarray(queries)
+        if arr.shape[-1] != self.dimension:
+            raise ValueError(
+                f"query dimension {arr.shape[-1]} does not match AM dimension "
+                f"{self.dimension}"
+            )
+        return dot_similarity(arr, self.binary_memory)
+
+    def predict_columns(self, queries: np.ndarray) -> np.ndarray:
+        """Index of the winning AM row for each query."""
+        scores = np.atleast_2d(self.scores(queries))
+        return np.argmax(scores, axis=1)
+
+    def predict(self, queries: np.ndarray) -> np.ndarray:
+        """Predicted class labels (the class of the winning row)."""
+        return self.column_classes[self.predict_columns(queries)]
+
+    def class_scores(self, queries: np.ndarray) -> np.ndarray:
+        """Per-class score: the best similarity among each class's rows."""
+        scores = np.atleast_2d(self.scores(queries))
+        result = np.full((scores.shape[0], self.num_classes), -np.inf)
+        for class_label in range(self.num_classes):
+            columns = self.columns_of_class(class_label)
+            result[:, class_label] = scores[:, columns].max(axis=1)
+        return result
+
+    # ------------------------------------------------------------- training
+    def refresh_binary(self) -> None:
+        """Re-quantize the binary AM from the (normalized) FP AM."""
+        normalized = normalize_rows(self.fp_memory, self.normalization)
+        self.binary_memory = mean_threshold_binarize(normalized, self.threshold_mode)
+
+    def apply_updates(
+        self,
+        add_rows: np.ndarray,
+        add_vectors: np.ndarray,
+        subtract_rows: np.ndarray,
+        subtract_vectors: np.ndarray,
+        learning_rate: float,
+    ) -> None:
+        """Accumulate Eq. (6) updates into the FP AM.
+
+        ``add_rows[i]`` receives ``+ learning_rate * add_vectors[i]`` and
+        ``subtract_rows[i]`` receives ``- learning_rate * subtract_vectors[i]``.
+        Repeated row indices accumulate (``np.add.at`` semantics).  The
+        binary AM is *not* refreshed here; call :meth:`refresh_binary` at
+        the configured interval.
+        """
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        add_rows = np.asarray(add_rows, dtype=np.int64)
+        subtract_rows = np.asarray(subtract_rows, dtype=np.int64)
+        add_vectors = np.asarray(add_vectors, dtype=np.float64)
+        subtract_vectors = np.asarray(subtract_vectors, dtype=np.float64)
+        if add_rows.size:
+            np.add.at(self.fp_memory, add_rows, learning_rate * add_vectors)
+        if subtract_rows.size:
+            np.add.at(self.fp_memory, subtract_rows, -learning_rate * subtract_vectors)
+
+    # -------------------------------------------------------------- utility
+    def copy(self) -> "MultiCentroidAM":
+        """Deep copy (used by experiments that branch a trained memory)."""
+        clone = MultiCentroidAM(
+            self.fp_memory.copy(),
+            self.column_classes.copy(),
+            num_classes=self.num_classes,
+            threshold_mode=self.threshold_mode,
+            normalization=self.normalization,
+        )
+        clone.binary_memory = self.binary_memory.copy()
+        return clone
+
+    def memory_bits(self) -> int:
+        """Storage of the binary AM in single-bit cells: ``C * D``."""
+        return self.num_columns * self.dimension
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MultiCentroidAM(shape={self.shape_label}, "
+            f"classes={self.num_classes})"
+        )

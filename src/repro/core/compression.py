@@ -1,0 +1,215 @@
+"""Post-training compression of the multi-centroid associative memory.
+
+MEMHD already reduces memory by an order of magnitude relative to the
+baselines, but two practical situations call for shrinking a *trained* AM
+further without re-training:
+
+* the deployment array is smaller than the one the model was trained for
+  (e.g. a 128x64 macro instead of 128x128), or
+* profiling shows some centroids contribute little and their columns could
+  be reclaimed (for example by :meth:`repro.core.online.OnlineMEMHD.add_class`).
+
+Two complementary tools are provided:
+
+``merge_similar_centroids``
+    Greedily merges, within each class, pairs of centroids whose binary
+    patterns are nearly identical (Hamming distance below a threshold),
+    replacing them with their (FP) sum.  Lossless in the limit of duplicate
+    centroids.
+
+``prune_centroids``
+    Ranks centroids by their usage on a reference set (how many samples they
+    win for their own class) and drops the least-used ones until a target
+    column count is met, always keeping at least one centroid per class.
+
+Both return a new :class:`~repro.core.associative_memory.MultiCentroidAM`
+and a report of what was removed; the original memory is never mutated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.associative_memory import MultiCentroidAM
+from repro.hdc.similarity import hamming_distance
+
+
+@dataclass
+class CompressionReport:
+    """What a compression pass removed and what is left.
+
+    Attributes
+    ----------
+    columns_before / columns_after:
+        AM column counts before and after compression.
+    removed_per_class:
+        Number of columns removed from each class.
+    merged_pairs:
+        For :func:`merge_similar_centroids`, the (kept, absorbed) column
+        index pairs that were merged (indices refer to the *original* AM).
+    """
+
+    columns_before: int
+    columns_after: int
+    removed_per_class: Dict[int, int] = field(default_factory=dict)
+    merged_pairs: List[Tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def columns_removed(self) -> int:
+        return self.columns_before - self.columns_after
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "columns_before": self.columns_before,
+            "columns_after": self.columns_after,
+            "columns_removed": self.columns_removed,
+            "removed_per_class": dict(self.removed_per_class),
+            "merged_pairs": list(self.merged_pairs),
+        }
+
+
+def _rebuild(
+    am: MultiCentroidAM, keep_mask: np.ndarray, fp_override: Optional[np.ndarray] = None
+) -> MultiCentroidAM:
+    """New AM keeping the masked rows (optionally with replaced FP rows)."""
+    fp = fp_override if fp_override is not None else am.fp_memory
+    return MultiCentroidAM(
+        fp[keep_mask].copy(),
+        am.column_classes[keep_mask].copy(),
+        num_classes=am.num_classes,
+        threshold_mode=am.threshold_mode,
+        normalization=am.normalization,
+    )
+
+
+def merge_similar_centroids(
+    am: MultiCentroidAM,
+    max_hamming_fraction: float = 0.05,
+) -> Tuple[MultiCentroidAM, CompressionReport]:
+    """Merge near-duplicate centroids within each class.
+
+    Two centroids of the same class are merged when their binary patterns
+    differ in at most ``max_hamming_fraction`` of the dimensions; the kept
+    centroid's FP row absorbs (adds) the absorbed centroid's FP row, so the
+    merged prototype represents the union of both clusters.
+
+    Returns the compressed memory and a :class:`CompressionReport`.
+    """
+    if not 0.0 <= max_hamming_fraction <= 1.0:
+        raise ValueError("max_hamming_fraction must be in [0, 1]")
+    threshold = int(round(max_hamming_fraction * am.dimension))
+    fp = am.fp_memory.copy()
+    keep = np.ones(am.num_columns, dtype=bool)
+    merged_pairs: List[Tuple[int, int]] = []
+    removed_per_class: Dict[int, int] = {label: 0 for label in range(am.num_classes)}
+
+    for class_label in range(am.num_classes):
+        columns = am.columns_of_class(class_label)
+        for i_position, column_i in enumerate(columns):
+            if not keep[column_i]:
+                continue
+            for column_j in columns[i_position + 1 :]:
+                if not keep[column_j]:
+                    continue
+                distance = int(
+                    hamming_distance(
+                        am.binary_memory[column_i], am.binary_memory[column_j]
+                    )
+                )
+                if distance <= threshold:
+                    fp[column_i] += fp[column_j]
+                    keep[column_j] = False
+                    merged_pairs.append((int(column_i), int(column_j)))
+                    removed_per_class[class_label] += 1
+
+    compressed = _rebuild(am, keep, fp_override=fp)
+    report = CompressionReport(
+        columns_before=am.num_columns,
+        columns_after=compressed.num_columns,
+        removed_per_class={k: v for k, v in removed_per_class.items() if v},
+        merged_pairs=merged_pairs,
+    )
+    return compressed, report
+
+
+def centroid_usage(
+    am: MultiCentroidAM, queries: np.ndarray, labels: np.ndarray
+) -> np.ndarray:
+    """How many reference samples each centroid wins *for its own class*.
+
+    A centroid's usage is the number of samples of its class for which it is
+    the most similar column among that class's columns -- the quantity that
+    decides how much representational work the centroid is doing.
+    """
+    q = np.asarray(queries, dtype=np.float64)
+    y = np.asarray(labels, dtype=np.int64)
+    if q.shape[0] != y.shape[0]:
+        raise ValueError("queries and labels must have the same length")
+    scores = np.atleast_2d(am.scores(q))
+    usage = np.zeros(am.num_columns, dtype=np.int64)
+    for class_label in range(am.num_classes):
+        columns = am.columns_of_class(class_label)
+        members = np.flatnonzero(y == class_label)
+        if members.size == 0:
+            continue
+        winners = np.argmax(scores[np.ix_(members, columns)], axis=1)
+        for local_index, count in zip(*np.unique(winners, return_counts=True)):
+            usage[columns[int(local_index)]] += int(count)
+    return usage
+
+
+def prune_centroids(
+    am: MultiCentroidAM,
+    queries: np.ndarray,
+    labels: np.ndarray,
+    target_columns: int,
+) -> Tuple[MultiCentroidAM, CompressionReport]:
+    """Drop the least-used centroids until ``target_columns`` remain.
+
+    Usage is measured with :func:`centroid_usage` on the supplied reference
+    split (normally the training data).  Every class always keeps at least
+    one centroid; if the target cannot be met under that constraint a
+    ``ValueError`` is raised.
+    """
+    if target_columns < am.num_classes:
+        raise ValueError(
+            f"target_columns ({target_columns}) must be >= the number of "
+            f"classes ({am.num_classes})"
+        )
+    if target_columns >= am.num_columns:
+        report = CompressionReport(am.num_columns, am.num_columns)
+        return am.copy(), report
+
+    usage = centroid_usage(am, queries, labels)
+    keep = np.ones(am.num_columns, dtype=bool)
+    removed_per_class: Dict[int, int] = {}
+    to_remove = am.num_columns - target_columns
+    # Remove in increasing usage order, skipping a class's last column.
+    order = np.argsort(usage, kind="stable")
+    for column in order:
+        if to_remove == 0:
+            break
+        class_label = int(am.column_classes[column])
+        class_columns = am.columns_of_class(class_label)
+        remaining = keep[class_columns].sum()
+        if remaining <= 1:
+            continue
+        keep[column] = False
+        removed_per_class[class_label] = removed_per_class.get(class_label, 0) + 1
+        to_remove -= 1
+    if to_remove > 0:
+        raise ValueError(
+            "cannot reach the target column count without dropping a class "
+            "below one centroid"
+        )
+
+    compressed = _rebuild(am, keep)
+    report = CompressionReport(
+        columns_before=am.num_columns,
+        columns_after=compressed.num_columns,
+        removed_per_class=removed_per_class,
+    )
+    return compressed, report

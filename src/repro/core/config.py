@@ -1,0 +1,146 @@
+"""MEMHD hyperparameter configuration.
+
+A single frozen dataclass collects every knob of the MEMHD pipeline so that
+experiments are fully described by (dataset, :class:`MEMHDConfig`, seed).
+The defaults follow the paper: binary projection encoding, clustering-based
+initialization with ratio ``R`` in the 0.8--1.0 range, mean-threshold 1-bit
+quantization, and quantization-aware iterative learning with a learning rate
+in the 0.01--0.1 range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+
+#: Allowed initialization strategies (Sec. III-A vs. the Fig. 5 baseline).
+INIT_METHODS = ("clustering", "random")
+#: Allowed row-normalization modes applied before re-binarization.
+NORMALIZATION_MODES = ("zscore", "l2", "none")
+#: Allowed binarization threshold modes (Sec. III-B uses the global mean).
+THRESHOLD_MODES = ("global-mean", "row-mean")
+
+
+@dataclass(frozen=True)
+class MEMHDConfig:
+    """Hyperparameters of a MEMHD model.
+
+    Attributes
+    ----------
+    dimension:
+        Hypervector dimensionality ``D``.  Chosen to match the IMC array's
+        row count (e.g. 128 for a 128x128 array); the paper sweeps 64--1024.
+    columns:
+        Total number of class vectors ``C`` in the multi-centroid AM.
+        Chosen to match the IMC array's column count; must be at least the
+        number of classes so every class owns at least one centroid.
+    cluster_ratio:
+        ``R`` in Sec. III-A: the fraction of the ``C`` columns assigned by
+        the initial class-wise clustering; the remaining ``C * (1 - R)``
+        columns are allocated by the confusion-matrix-driven loop.
+    epochs:
+        Quantization-aware iterative-learning epochs (the paper trains for
+        100; laptop-scale experiments converge in 10--20).
+    learning_rate:
+        Update step ``alpha`` of Eq. (6).
+    init_method:
+        ``"clustering"`` (paper) or ``"random"`` (Fig. 5 baseline).
+    normalization:
+        Row normalization applied to the FP AM before each re-binarization:
+        ``"zscore"`` (default), ``"l2"`` or ``"none"``.
+    threshold_mode:
+        Binarization threshold: ``"global-mean"`` (paper, Sec. III-B) or
+        ``"row-mean"``.
+    kmeans_iterations:
+        Maximum Lloyd iterations of the per-class K-means.
+    allocation_rounds:
+        Maximum validation/re-clustering rounds used to hand out the
+        remaining ``C * (1 - R)`` columns.  Each round re-validates on the
+        training set and distributes a batch of columns proportionally to
+        per-class misclassification counts.
+    binary_projection:
+        Use a binary (+/-1) projection matrix for the encoder (True matches
+        the IMC mapping of Sec. III-D).
+    binary_update_interval:
+        Number of training epochs between refreshes of the binary AM from
+        the FP AM.  1 (default) refreshes every epoch.
+    early_stop_patience:
+        Stop training when the training accuracy has not improved for this
+        many consecutive epochs; ``None`` disables early stopping.
+    keep_best:
+        Restore the binary-AM snapshot with the highest training accuracy at
+        the end of training (default True), so late oscillations of the
+        iterative updates never degrade the deployed model.
+    seed:
+        Seed used when the caller does not pass an explicit generator.
+    """
+
+    dimension: int = 128
+    columns: int = 128
+    cluster_ratio: float = 0.8
+    epochs: int = 20
+    learning_rate: float = 0.05
+    init_method: str = "clustering"
+    normalization: str = "zscore"
+    threshold_mode: str = "global-mean"
+    kmeans_iterations: int = 25
+    allocation_rounds: int = 4
+    binary_projection: bool = True
+    binary_update_interval: int = 1
+    early_stop_patience: Optional[int] = None
+    keep_best: bool = True
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.dimension <= 0:
+            raise ValueError("dimension must be positive")
+        if self.columns <= 0:
+            raise ValueError("columns must be positive")
+        if not 0.0 < self.cluster_ratio <= 1.0:
+            raise ValueError("cluster_ratio (R) must be in (0, 1]")
+        if self.epochs < 0:
+            raise ValueError("epochs must be non-negative")
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if self.init_method not in INIT_METHODS:
+            raise ValueError(
+                f"init_method must be one of {INIT_METHODS}, got {self.init_method!r}"
+            )
+        if self.normalization not in NORMALIZATION_MODES:
+            raise ValueError(
+                f"normalization must be one of {NORMALIZATION_MODES}, "
+                f"got {self.normalization!r}"
+            )
+        if self.threshold_mode not in THRESHOLD_MODES:
+            raise ValueError(
+                f"threshold_mode must be one of {THRESHOLD_MODES}, "
+                f"got {self.threshold_mode!r}"
+            )
+        if self.kmeans_iterations < 1:
+            raise ValueError("kmeans_iterations must be >= 1")
+        if self.allocation_rounds < 1:
+            raise ValueError("allocation_rounds must be >= 1")
+        if self.binary_update_interval < 1:
+            raise ValueError("binary_update_interval must be >= 1")
+        if self.early_stop_patience is not None and self.early_stop_patience < 1:
+            raise ValueError("early_stop_patience must be >= 1 or None")
+
+    def with_updates(self, **changes) -> "MEMHDConfig":
+        """Return a copy of the config with the given fields replaced."""
+        return replace(self, **changes)
+
+    def validate_for(self, num_classes: int) -> None:
+        """Check that this config can represent ``num_classes`` classes."""
+        if num_classes <= 0:
+            raise ValueError("num_classes must be positive")
+        if self.columns < num_classes:
+            raise ValueError(
+                f"columns (C={self.columns}) must be >= the number of classes "
+                f"({num_classes}) so every class owns at least one centroid"
+            )
+
+    @property
+    def shape_label(self) -> str:
+        """Compact ``DxC`` label used throughout the paper (e.g. ``"128x128"``)."""
+        return f"{self.dimension}x{self.columns}"

@@ -1,0 +1,205 @@
+"""End-to-end MEMHD classifier.
+
+:class:`MEMHDModel` ties together the building blocks of Sec. III:
+
+* a binary random-projection encoder whose output dimensionality ``D``
+  matches the IMC array's row count,
+* the multi-centroid associative memory with ``C`` columns matching the
+  array's column count,
+* clustering-based (or random-sampling) initialization,
+* mean-threshold 1-bit quantization, and
+* quantization-aware iterative learning.
+
+It implements the same :class:`repro.baselines.base.HDCClassifier`
+interface as the baselines so the evaluation harness treats every model
+uniformly, and it exposes the binary artifacts (projection matrix and AM)
+that :mod:`repro.imc` maps into IMC arrays for in-memory inference.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.baselines.base import HDCClassifier, TrainingHistory
+from repro.core.associative_memory import MultiCentroidAM
+from repro.core.config import MEMHDConfig
+from repro.core.initialization import (
+    InitializationResult,
+    clustering_initialization,
+    random_sampling_initialization,
+)
+from repro.core.training import QuantizationAwareTrainer
+from repro.hdc.encoders import RandomProjectionEncoder
+from repro.hdc.hypervector import _as_generator, to_binary
+from repro.hdc.memory_model import MemoryReport, model_memory_report
+
+
+class MEMHDModel(HDCClassifier):
+    """Memory-efficient multi-centroid HDC classifier (the paper's model)."""
+
+    name = "MEMHD"
+
+    def __init__(
+        self,
+        num_features: int,
+        num_classes: int,
+        config: Optional[MEMHDConfig] = None,
+        rng: Optional[Union[int, np.random.Generator]] = None,
+    ) -> None:
+        if num_features <= 0 or num_classes <= 0:
+            raise ValueError("num_features and num_classes must be positive")
+        self.config = config or MEMHDConfig()
+        self.config.validate_for(num_classes)
+        self.num_features = int(num_features)
+        self.num_classes = int(num_classes)
+        seed = self.config.seed if rng is None else rng
+        self._rng = _as_generator(seed)
+        self.encoder = RandomProjectionEncoder(
+            num_features,
+            self.config.dimension,
+            binary_projection=self.config.binary_projection,
+            rng=self._rng,
+        )
+        self._am: Optional[MultiCentroidAM] = None
+        self._init_result: Optional[InitializationResult] = None
+
+    # ------------------------------------------------------------------ API
+    def fit(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        validation: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+    ) -> TrainingHistory:
+        """Initialize, quantize and train the multi-centroid AM.
+
+        Parameters
+        ----------
+        features:
+            ``(n, f)`` raw training features.
+        labels:
+            ``(n,)`` integer training labels in ``[0, num_classes)``.
+        validation:
+            Optional ``(features, labels)`` pair whose accuracy is recorded
+            after every training epoch.
+        """
+        x, y = self._check_fit_inputs(features, labels)
+        if np.any(y >= self.num_classes):
+            raise ValueError("label outside the configured number of classes")
+        encoded = self.encode_binary(x).astype(np.float64)
+
+        if self.config.init_method == "clustering":
+            init = clustering_initialization(
+                encoded,
+                y,
+                columns=self.config.columns,
+                num_classes=self.num_classes,
+                cluster_ratio=self.config.cluster_ratio,
+                kmeans_iterations=self.config.kmeans_iterations,
+                allocation_rounds=self.config.allocation_rounds,
+                threshold_mode=self.config.threshold_mode,
+                normalization=self.config.normalization,
+                rng=self._rng,
+            )
+        else:
+            init = random_sampling_initialization(
+                encoded,
+                y,
+                columns=self.config.columns,
+                num_classes=self.num_classes,
+                rng=self._rng,
+            )
+        self._init_result = init
+
+        self._am = MultiCentroidAM(
+            init.fp_memory,
+            init.column_classes,
+            num_classes=self.num_classes,
+            threshold_mode=self.config.threshold_mode,
+            normalization=self.config.normalization,
+        )
+
+        trainer = QuantizationAwareTrainer(
+            learning_rate=self.config.learning_rate,
+            epochs=self.config.epochs,
+            binary_update_interval=self.config.binary_update_interval,
+            early_stop_patience=self.config.early_stop_patience,
+            keep_best=self.config.keep_best,
+        )
+        validation_encoded = None
+        if validation is not None:
+            val_x, val_y = validation
+            validation_encoded = (
+                self.encode_binary(np.asarray(val_x, dtype=np.float64)).astype(
+                    np.float64
+                ),
+                np.asarray(val_y, dtype=np.int64),
+            )
+        return trainer.train(
+            self._am, encoded, y, validation=validation_encoded, rng=self._rng
+        )
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Associative-search classification of raw feature vectors."""
+        am = self._require_am()
+        encoded = self.encode_binary(np.asarray(features, dtype=np.float64))
+        if encoded.ndim == 1:
+            encoded = encoded[None, :]
+        return am.predict(encoded.astype(np.float64))
+
+    def memory_report(self) -> MemoryReport:
+        """Table I breakdown: ``f*D`` encoder bits plus ``C*D`` AM bits."""
+        return model_memory_report(
+            "MEMHD",
+            num_features=self.num_features,
+            dimension=self.config.dimension,
+            num_classes=self.num_classes,
+            num_columns=self.config.columns,
+        )
+
+    # ----------------------------------------------------------- inspection
+    @property
+    def associative_memory(self) -> MultiCentroidAM:
+        """The trained multi-centroid AM."""
+        return self._require_am()
+
+    @property
+    def initialization(self) -> InitializationResult:
+        """Details of the initialization phase (allocation rounds, etc.)."""
+        if self._init_result is None:
+            raise RuntimeError("model has not been fitted")
+        return self._init_result
+
+    @property
+    def shape_label(self) -> str:
+        """Paper-style ``DxC`` label of this model (e.g. ``"128x128"``)."""
+        return self.config.shape_label
+
+    def encode_binary(self, features: np.ndarray) -> np.ndarray:
+        """Encode features into binary ``{0, 1}`` query hypervectors.
+
+        This is the exact bit pattern an IMC implementation would drive onto
+        the AM array's rows, so both the software model and the functional
+        IMC simulator consume it.
+        """
+        encoded = self.encoder.encode(features)
+        return to_binary(encoded)
+
+    def projection_matrix_binary(self) -> np.ndarray:
+        """The encoder's projection matrix as mapped into the IMC array."""
+        return self.encoder.projection_binary
+
+    def class_scores(self, features: np.ndarray) -> np.ndarray:
+        """Per-class best-centroid similarity scores for raw features."""
+        am = self._require_am()
+        encoded = self.encode_binary(np.asarray(features, dtype=np.float64))
+        if encoded.ndim == 1:
+            encoded = encoded[None, :]
+        return am.class_scores(encoded.astype(np.float64))
+
+    # ------------------------------------------------------------ internals
+    def _require_am(self) -> MultiCentroidAM:
+        if self._am is None:
+            raise RuntimeError("MEMHDModel has not been fitted yet")
+        return self._am

@@ -1,0 +1,117 @@
+"""Feature preprocessing and split utilities.
+
+Small, dependency-free helpers shared by the examples, the evaluation
+harness and the tests.  All routines are pure functions of their inputs (and
+an explicit RNG where randomness is involved).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.hdc.hypervector import _as_generator
+
+
+def minmax_normalize(
+    features: np.ndarray,
+    reference: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Scale features into ``[0, 1]`` per column.
+
+    Parameters
+    ----------
+    features:
+        ``(n, f)`` array to scale.
+    reference:
+        Optional array whose per-column min/max define the scaling (use the
+        training split here to avoid test-set leakage).  Defaults to
+        ``features`` itself.
+    """
+    arr = np.asarray(features, dtype=np.float64)
+    ref = arr if reference is None else np.asarray(reference, dtype=np.float64)
+    low = ref.min(axis=0)
+    high = ref.max(axis=0)
+    span = np.where(high > low, high - low, 1.0)
+    return np.clip((arr - low) / span, 0.0, 1.0)
+
+
+def standardize(
+    features: np.ndarray,
+    reference: Optional[np.ndarray] = None,
+    epsilon: float = 1e-12,
+) -> np.ndarray:
+    """Zero-mean, unit-variance scaling per column."""
+    arr = np.asarray(features, dtype=np.float64)
+    ref = arr if reference is None else np.asarray(reference, dtype=np.float64)
+    mean = ref.mean(axis=0)
+    std = ref.std(axis=0)
+    std = np.where(std > epsilon, std, 1.0)
+    return (arr - mean) / std
+
+
+def train_test_split(
+    features: np.ndarray,
+    labels: np.ndarray,
+    test_fraction: float = 0.2,
+    rng: Optional[Union[int, np.random.Generator]] = None,
+    stratify: bool = True,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Split a dataset into train and test partitions.
+
+    With ``stratify=True`` (default) the class proportions of ``labels`` are
+    preserved in both partitions, which matters for the small-sample ISOLET
+    profile.
+    """
+    x = np.asarray(features)
+    y = np.asarray(labels)
+    if x.shape[0] != y.shape[0]:
+        raise ValueError("features and labels must have the same length")
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    gen = _as_generator(rng)
+
+    if not stratify:
+        order = gen.permutation(x.shape[0])
+        cut = int(round(x.shape[0] * (1.0 - test_fraction)))
+        train_idx, test_idx = order[:cut], order[cut:]
+    else:
+        train_parts = []
+        test_parts = []
+        for class_label in np.unique(y):
+            members = np.flatnonzero(y == class_label)
+            members = gen.permutation(members)
+            cut = int(round(members.size * (1.0 - test_fraction)))
+            cut = min(max(cut, 1), members.size - 1) if members.size > 1 else members.size
+            train_parts.append(members[:cut])
+            test_parts.append(members[cut:])
+        train_idx = gen.permutation(np.concatenate(train_parts))
+        test_idx = gen.permutation(np.concatenate(test_parts)) if test_parts else np.array([], dtype=np.int64)
+        test_idx = test_idx.astype(np.int64)
+
+    return x[train_idx], y[train_idx], x[test_idx], y[test_idx]
+
+
+def stratified_subsample(
+    features: np.ndarray,
+    labels: np.ndarray,
+    per_class: int,
+    rng: Optional[Union[int, np.random.Generator]] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Draw up to ``per_class`` samples from every class, without replacement.
+
+    Used to cap benchmark runtimes while keeping every class represented.
+    """
+    x = np.asarray(features)
+    y = np.asarray(labels)
+    if per_class <= 0:
+        raise ValueError(f"per_class must be positive, got {per_class}")
+    gen = _as_generator(rng)
+    keep = []
+    for class_label in np.unique(y):
+        members = np.flatnonzero(y == class_label)
+        members = gen.permutation(members)
+        keep.append(members[:per_class])
+    order = gen.permutation(np.concatenate(keep))
+    return x[order], y[order]

@@ -1,0 +1,104 @@
+"""Plain-text report formatting for tables and figures.
+
+The benchmark harness prints its results as aligned ASCII tables (and
+simple text heatmaps) so the paper's tables and figure series can be read
+straight from the pytest output or the ``*_output.txt`` capture files --
+no plotting dependencies required.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    float_format: str = "{:.4g}",
+    title: Optional[str] = None,
+) -> str:
+    """Render a list of dictionaries as an aligned ASCII table."""
+    rows = list(rows)
+    if not rows:
+        return "(empty table)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def render(value: object) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    rendered = [[render(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(str(column)), max(len(line[i]) for line in rendered))
+        for i, column in enumerate(columns)
+    ]
+    header = " | ".join(str(c).ljust(w) for c, w in zip(columns, widths))
+    separator = "-+-".join("-" * w for w in widths)
+    body = "\n".join(
+        " | ".join(cell.ljust(w) for cell, w in zip(line, widths)) for line in rendered
+    )
+    parts = []
+    if title:
+        parts.append(title)
+    parts.extend([header, separator, body])
+    return "\n".join(parts)
+
+
+def normalize_series(values: Sequence[float], peak: float = 100.0) -> List[float]:
+    """Scale a series so its maximum equals ``peak`` (Fig. 7 convention)."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        return []
+    maximum = float(arr.max())
+    if maximum <= 0:
+        raise ValueError("cannot normalize a series whose maximum is not positive")
+    return list(arr / maximum * peak)
+
+
+def format_accuracy_memory(
+    records: Iterable,
+    title: Optional[str] = None,
+) -> str:
+    """Fig. 3 style listing: model, size label, memory (KB) and accuracy."""
+    rows = []
+    for record in records:
+        data = record.as_dict() if hasattr(record, "as_dict") else dict(record)
+        rows.append(
+            {
+                "model": data.get("model", "?"),
+                "config": data.get("label", data.get("config", "?")),
+                "memory_kib": data.get("memory_kib", float("nan")),
+                "accuracy_%": 100.0 * float(data.get("test_accuracy", float("nan"))),
+            }
+        )
+    rows.sort(key=lambda row: row["memory_kib"])
+    return format_table(rows, title=title, float_format="{:.2f}")
+
+
+def format_heatmap(
+    grid: Dict[Tuple[int, int], float],
+    title: Optional[str] = None,
+    cell_format: str = "{:6.1f}",
+) -> str:
+    """Fig. 4 style text heatmap: rows are dimensions, columns are AM columns."""
+    if not grid:
+        return "(empty heatmap)"
+    dimensions = sorted({key[0] for key in grid})
+    columns = sorted({key[1] for key in grid})
+    header = "D \\ C |" + "".join(f"{c:>8d}" for c in columns)
+    lines = [header, "-" * len(header)]
+    for dimension in dimensions:
+        cells = []
+        for column in columns:
+            value = grid.get((dimension, column))
+            cells.append(
+                cell_format.format(100.0 * value) if value is not None else "     --"
+            )
+        lines.append(f"{dimension:>6d}|" + " ".join(f"{c:>7s}" for c in cells))
+    if title:
+        lines.insert(0, title)
+    return "\n".join(lines)

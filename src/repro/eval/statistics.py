@@ -1,0 +1,136 @@
+"""Multi-trial statistics for experiment results.
+
+The paper reports 5-trial averages; this module provides the small set of
+statistics the evaluation harness (and downstream users running their own
+sweeps) need to do the same rigorously:
+
+* :func:`summarize_trials` -- mean, standard deviation and a normal-theory
+  confidence interval of a set of per-trial metrics.
+* :func:`paired_bootstrap` -- a paired bootstrap test for "is model A better
+  than model B on the same trials?", the appropriate comparison when both
+  models are evaluated on identical dataset/seed pairs.
+* :func:`run_trials` -- convenience runner that repeats a factory-built
+  experiment over seeds and aggregates it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Union
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+from repro.hdc.hypervector import _as_generator
+
+
+@dataclass(frozen=True)
+class TrialSummary:
+    """Aggregate statistics of one metric across repeated trials."""
+
+    mean: float
+    std: float
+    count: int
+    ci_low: float
+    ci_high: float
+    confidence: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "mean": self.mean,
+            "std": self.std,
+            "count": self.count,
+            "ci_low": self.ci_low,
+            "ci_high": self.ci_high,
+            "confidence": self.confidence,
+        }
+
+
+def summarize_trials(values: Sequence[float], confidence: float = 0.95) -> TrialSummary:
+    """Mean / std / confidence interval of per-trial metric values.
+
+    A Student-t interval is used (appropriate for the handful of trials the
+    paper's protocol runs); with a single trial the interval degenerates to
+    the point value.
+    """
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("values must not be empty")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    mean = float(arr.mean())
+    std = float(arr.std(ddof=1)) if arr.size > 1 else 0.0
+    if arr.size > 1 and std > 0.0:
+        sem = std / np.sqrt(arr.size)
+        t_value = scipy_stats.t.ppf(0.5 + confidence / 2.0, df=arr.size - 1)
+        half_width = float(t_value * sem)
+    else:
+        half_width = 0.0
+    return TrialSummary(
+        mean=mean,
+        std=std,
+        count=int(arr.size),
+        ci_low=mean - half_width,
+        ci_high=mean + half_width,
+        confidence=confidence,
+    )
+
+
+def paired_bootstrap(
+    values_a: Sequence[float],
+    values_b: Sequence[float],
+    num_resamples: int = 2000,
+    rng: Optional[Union[int, np.random.Generator]] = None,
+) -> Dict[str, float]:
+    """Paired bootstrap comparison of two models evaluated on the same trials.
+
+    Returns the mean difference ``a - b``, a 95% bootstrap interval on the
+    difference and the (one-sided) probability that A is not better than B
+    (small values mean A is reliably better).
+    """
+    a = np.asarray(list(values_a), dtype=np.float64)
+    b = np.asarray(list(values_b), dtype=np.float64)
+    if a.shape != b.shape or a.size == 0:
+        raise ValueError("values_a and values_b must be equal-length, non-empty")
+    if num_resamples < 1:
+        raise ValueError("num_resamples must be >= 1")
+    gen = _as_generator(rng)
+    differences = a - b
+    if a.size == 1:
+        delta = float(differences[0])
+        return {
+            "mean_difference": delta,
+            "ci_low": delta,
+            "ci_high": delta,
+            "p_not_better": 0.0 if delta > 0 else 1.0,
+        }
+    resampled_means = np.empty(num_resamples)
+    for index in range(num_resamples):
+        sample = gen.integers(0, a.size, size=a.size)
+        resampled_means[index] = differences[sample].mean()
+    return {
+        "mean_difference": float(differences.mean()),
+        "ci_low": float(np.percentile(resampled_means, 2.5)),
+        "ci_high": float(np.percentile(resampled_means, 97.5)),
+        "p_not_better": float(np.mean(resampled_means <= 0.0)),
+    }
+
+
+def run_trials(
+    experiment: Callable[[int], float],
+    num_trials: int,
+    rng: Optional[Union[int, np.random.Generator]] = None,
+    confidence: float = 0.95,
+) -> TrialSummary:
+    """Repeat ``experiment(seed)`` over ``num_trials`` seeds and summarize.
+
+    ``experiment`` receives a fresh integer seed per trial and returns a
+    scalar metric (e.g. test accuracy).
+    """
+    if num_trials < 1:
+        raise ValueError("num_trials must be >= 1")
+    gen = _as_generator(rng)
+    values = [
+        float(experiment(int(gen.integers(0, 2**31 - 1)))) for _ in range(num_trials)
+    ]
+    return summarize_trials(values, confidence=confidence)

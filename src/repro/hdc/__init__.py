@@ -1,0 +1,97 @@
+"""Hyperdimensional computing (HDC) substrate.
+
+This package provides the building blocks every classifier in the
+reproduction rests on:
+
+* :mod:`repro.hdc.hypervector` -- creation of random hypervectors and the
+  elementary HDC algebra (bundling, binding, permutation, sign/binarize).
+* :mod:`repro.hdc.similarity` -- dot, cosine, Hamming and normalized-Hamming
+  similarity between hypervectors or batches of hypervectors.
+* :mod:`repro.hdc.encoders` -- the two encoders the paper uses:
+  random-projection encoding (MVM-compatible, used by BasicHDC and MEMHD) and
+  ID-Level encoding (used by SearcHD / QuantHD / LeHDC).
+* :mod:`repro.hdc.clustering` -- K-means clustering under the dot-similarity
+  metric, used for MEMHD's clustering-based initialization.
+* :mod:`repro.hdc.memory_model` -- the Table I memory-requirement formulas
+  for every model family.
+"""
+
+from repro.hdc.hypervector import (
+    BIPOLAR,
+    BINARY,
+    random_binary_hypervectors,
+    random_bipolar_hypervectors,
+    random_gaussian_hypervectors,
+    level_hypervectors,
+    bundle,
+    bind,
+    permute,
+    binarize,
+    bipolarize,
+    to_bipolar,
+    to_binary,
+)
+from repro.hdc.similarity import (
+    dot_similarity,
+    cosine_similarity,
+    hamming_distance,
+    hamming_similarity,
+    pairwise_dot,
+    top1,
+)
+from repro.hdc.encoders import (
+    Encoder,
+    RandomProjectionEncoder,
+    IDLevelEncoder,
+)
+from repro.hdc.clustering import (
+    KMeansResult,
+    dot_kmeans,
+    classwise_clustering,
+)
+from repro.hdc.item_memory import ItemMemory
+from repro.hdc.memory_model import (
+    MemoryReport,
+    bits_to_kib,
+    projection_encoder_bits,
+    id_level_encoder_bits,
+    associative_memory_bits,
+    model_memory_report,
+    TABLE1_MODEL_FAMILIES,
+)
+
+__all__ = [
+    "BIPOLAR",
+    "BINARY",
+    "random_binary_hypervectors",
+    "random_bipolar_hypervectors",
+    "random_gaussian_hypervectors",
+    "level_hypervectors",
+    "bundle",
+    "bind",
+    "permute",
+    "binarize",
+    "bipolarize",
+    "to_bipolar",
+    "to_binary",
+    "dot_similarity",
+    "cosine_similarity",
+    "hamming_distance",
+    "hamming_similarity",
+    "pairwise_dot",
+    "top1",
+    "Encoder",
+    "RandomProjectionEncoder",
+    "IDLevelEncoder",
+    "KMeansResult",
+    "dot_kmeans",
+    "classwise_clustering",
+    "ItemMemory",
+    "MemoryReport",
+    "bits_to_kib",
+    "projection_encoder_bits",
+    "id_level_encoder_bits",
+    "associative_memory_bits",
+    "model_memory_report",
+    "TABLE1_MODEL_FAMILIES",
+]

@@ -1,0 +1,248 @@
+"""Feature-vector to hypervector encoders.
+
+Two encoder families appear in the paper (Sec. II-B):
+
+``RandomProjectionEncoder``
+    ``H = M^T F`` -- a matrix-vector multiplication between a fixed random
+    ``f x D`` projection matrix ``M`` and the ``f``-dimensional input ``F``.
+    This encoder maps directly onto an IMC array (the projection matrix is
+    stored in the array, the input drives the rows), which is why BasicHDC
+    and MEMHD use it.
+
+``IDLevelEncoder``
+    ``H = sum_i ID_i * L_{x_i}`` -- each feature position gets a random
+    *ID* hypervector and each quantized feature value a correlated *level*
+    hypervector; the encoding binds them per position and bundles across
+    positions.  SearcHD, QuantHD and LeHDC use this encoder (with
+    ``L = 256`` levels in the paper's evaluation).
+
+Both encoders expose the same small interface (:class:`Encoder`) so that the
+classifiers and the evaluation harness can treat them interchangeably.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.hdc.hypervector import (
+    _as_generator,
+    bipolarize,
+    level_hypervectors,
+    random_bipolar_hypervectors,
+    random_gaussian_hypervectors,
+    to_binary,
+)
+
+
+class Encoder(abc.ABC):
+    """Common interface for feature-to-hypervector encoders.
+
+    Attributes
+    ----------
+    num_features:
+        Expected input feature dimensionality ``f``.
+    dimension:
+        Output hypervector dimensionality ``D``.
+    """
+
+    def __init__(self, num_features: int, dimension: int) -> None:
+        if num_features <= 0:
+            raise ValueError(f"num_features must be positive, got {num_features}")
+        if dimension <= 0:
+            raise ValueError(f"dimension must be positive, got {dimension}")
+        self.num_features = int(num_features)
+        self.dimension = int(dimension)
+
+    @abc.abstractmethod
+    def encode(self, features: np.ndarray) -> np.ndarray:
+        """Encode a ``(n, f)`` batch (or single ``(f,)`` vector) of features.
+
+        Returns a ``(n, D)`` (or ``(D,)``) array of encoded hypervectors.
+        The output alphabet depends on the encoder configuration (bipolar by
+        default).
+        """
+
+    @abc.abstractmethod
+    def memory_bits(self) -> int:
+        """Number of bits needed to store the encoder parameters."""
+
+    def __call__(self, features: np.ndarray) -> np.ndarray:
+        return self.encode(features)
+
+    def _validate(self, features: np.ndarray) -> np.ndarray:
+        arr = np.asarray(features, dtype=np.float64)
+        squeeze = arr.ndim == 1
+        if squeeze:
+            arr = arr[None, :]
+        if arr.ndim != 2:
+            raise ValueError(f"expected 1-D or 2-D features, got ndim={arr.ndim}")
+        if arr.shape[1] != self.num_features:
+            raise ValueError(
+                f"expected {self.num_features} features, got {arr.shape[1]}"
+            )
+        self._squeeze_output = squeeze
+        return arr
+
+    def _maybe_squeeze(self, encoded: np.ndarray) -> np.ndarray:
+        if getattr(self, "_squeeze_output", False):
+            return encoded[0]
+        return encoded
+
+
+class RandomProjectionEncoder(Encoder):
+    """Random-projection (MVM) encoder: ``H = sign(M^T F)``.
+
+    Parameters
+    ----------
+    num_features:
+        Input feature dimensionality ``f``.
+    dimension:
+        Output hypervector dimensionality ``D``.
+    binary_projection:
+        When ``True`` (default, matching the paper's IMC mapping) the
+        projection matrix entries are drawn from ``{-1, +1}`` and are stored
+        in the IMC array as single bits.  When ``False`` a dense Gaussian
+        matrix is used (the floating-point variant of the paper's Ref. [12]).
+    quantize_output:
+        When ``True`` (default) the projected vector is passed through the
+        sign function, producing a bipolar hypervector; when ``False`` the
+        raw real-valued projection is returned.
+    rng:
+        Seed or generator for the projection matrix.
+    """
+
+    def __init__(
+        self,
+        num_features: int,
+        dimension: int,
+        binary_projection: bool = True,
+        quantize_output: bool = True,
+        rng: Optional[Union[int, np.random.Generator]] = None,
+    ) -> None:
+        super().__init__(num_features, dimension)
+        gen = _as_generator(rng)
+        self.binary_projection = bool(binary_projection)
+        self.quantize_output = bool(quantize_output)
+        if binary_projection:
+            # (f, D) bipolar matrix; column d is the base hypervector B_d.
+            self.projection = random_bipolar_hypervectors(
+                num_features, dimension, gen
+            ).astype(np.int8)
+        else:
+            self.projection = random_gaussian_hypervectors(
+                num_features, dimension, gen, scale=1.0 / np.sqrt(num_features)
+            )
+
+    def encode(self, features: np.ndarray) -> np.ndarray:
+        arr = self._validate(features)
+        projected = arr @ self.projection.astype(np.float64)
+        if self.quantize_output:
+            encoded = bipolarize(projected)
+        else:
+            encoded = projected.astype(np.float32)
+        return self._maybe_squeeze(encoded)
+
+    def encode_binary(self, features: np.ndarray) -> np.ndarray:
+        """Encode and return the ``{0, 1}`` representation of the result."""
+        encoded = self.encode(features)
+        if not self.quantize_output:
+            raise ValueError("encode_binary requires quantize_output=True")
+        return to_binary(encoded)
+
+    def memory_bits(self) -> int:
+        """Encoder storage: ``f * D`` cells (1 bit binary, 32 bits FP)."""
+        bits_per_entry = 1 if self.binary_projection else 32
+        return self.num_features * self.dimension * bits_per_entry
+
+    @property
+    def projection_binary(self) -> np.ndarray:
+        """The projection matrix in ``{0, 1}`` form, as mapped into the array."""
+        if not self.binary_projection:
+            raise ValueError("projection_binary requires binary_projection=True")
+        return to_binary(self.projection)
+
+
+class IDLevelEncoder(Encoder):
+    """ID-Level encoder: ``H = sign(sum_i ID_i * L_{x_i})``.
+
+    Each of the ``f`` feature positions owns a random bipolar *ID*
+    hypervector; feature values are linearly quantized into ``num_levels``
+    buckets, each associated with a correlated *level* hypervector.  The
+    encoding binds ID and level per position and bundles over positions.
+
+    Parameters
+    ----------
+    num_features:
+        Input feature dimensionality ``f``.
+    dimension:
+        Output hypervector dimensionality ``D``.
+    num_levels:
+        Number of quantization levels ``L`` (256 in the paper's baselines).
+    value_range:
+        ``(low, high)`` range used to quantize feature values.  Values
+        outside the range are clipped.  Defaults to ``(0, 1)``, matching the
+        library's normalized dataset preprocessing.
+    quantize_output:
+        When ``True`` (default) the bundled sum is sign-quantized to a
+        bipolar hypervector.
+    rng:
+        Seed or generator for ID and level hypervector creation.
+    """
+
+    def __init__(
+        self,
+        num_features: int,
+        dimension: int,
+        num_levels: int = 256,
+        value_range: tuple = (0.0, 1.0),
+        quantize_output: bool = True,
+        rng: Optional[Union[int, np.random.Generator]] = None,
+    ) -> None:
+        super().__init__(num_features, dimension)
+        if num_levels < 2:
+            raise ValueError(f"num_levels must be >= 2, got {num_levels}")
+        low, high = float(value_range[0]), float(value_range[1])
+        if not high > low:
+            raise ValueError("value_range must satisfy high > low")
+        gen = _as_generator(rng)
+        self.num_levels = int(num_levels)
+        self.value_low = low
+        self.value_high = high
+        self.quantize_output = bool(quantize_output)
+        self.id_vectors = random_bipolar_hypervectors(num_features, dimension, gen)
+        self.level_vectors = level_hypervectors(num_levels, dimension, gen)
+
+    def quantize_values(self, features: np.ndarray) -> np.ndarray:
+        """Map raw feature values to integer level indices in ``[0, L-1]``."""
+        arr = np.asarray(features, dtype=np.float64)
+        scaled = (arr - self.value_low) / (self.value_high - self.value_low)
+        clipped = np.clip(scaled, 0.0, 1.0)
+        return np.minimum(
+            (clipped * self.num_levels).astype(np.int64), self.num_levels - 1
+        )
+
+    def encode(self, features: np.ndarray) -> np.ndarray:
+        arr = self._validate(features)
+        levels = self.quantize_values(arr)  # (n, f) integer level indices
+        n = arr.shape[0]
+        accumulated = np.zeros((n, self.dimension), dtype=np.int64)
+        # Bind each position's ID with the level hypervector of its value,
+        # then bundle over positions.  Vectorized per sample batch over
+        # feature positions to keep memory bounded for wide inputs.
+        id_vectors = self.id_vectors.astype(np.int64)
+        level_vectors = self.level_vectors.astype(np.int64)
+        for position in range(self.num_features):
+            level_rows = level_vectors[levels[:, position]]  # (n, D)
+            accumulated += id_vectors[position][None, :] * level_rows
+        if self.quantize_output:
+            encoded = bipolarize(accumulated)
+        else:
+            encoded = accumulated.astype(np.float32)
+        return self._maybe_squeeze(encoded)
+
+    def memory_bits(self) -> int:
+        """Encoder storage: ``(f + L) * D`` single-bit cells (Table I)."""
+        return (self.num_features + self.num_levels) * self.dimension

@@ -1,0 +1,287 @@
+"""Hypervector creation and elementary HDC algebra.
+
+Hypervectors are represented as numpy arrays.  Two discrete alphabets are
+used throughout the library:
+
+``BINARY``
+    Values in ``{0, 1}``.  This is the representation that is physically
+    stored in an IMC array cell (one SRAM/ReRAM cell per element) and the
+    representation MEMHD's binary associative memory uses.
+
+``BIPOLAR``
+    Values in ``{-1, +1}``.  This is the algebraically convenient
+    representation: binding is element-wise multiplication and the dot
+    product directly measures agreement.  The mapping between the two is the
+    affine map ``bipolar = 2 * binary - 1``.
+
+All random generation routines take an explicit ``numpy.random.Generator``
+so that every experiment in the repository is reproducible from a single
+seed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Union
+
+import numpy as np
+
+#: Marker for the {0, 1} alphabet.
+BINARY = "binary"
+#: Marker for the {-1, +1} alphabet.
+BIPOLAR = "bipolar"
+
+ArrayLike = Union[np.ndarray, Sequence[float]]
+
+
+def _as_generator(rng: Optional[Union[int, np.random.Generator]]) -> np.random.Generator:
+    """Normalize ``rng`` into a :class:`numpy.random.Generator`.
+
+    ``None`` creates a fresh non-deterministic generator, an ``int`` is used
+    as a seed, and an existing generator is passed through unchanged.
+    """
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def random_binary_hypervectors(
+    count: int,
+    dimension: int,
+    rng: Optional[Union[int, np.random.Generator]] = None,
+    density: float = 0.5,
+) -> np.ndarray:
+    """Draw ``count`` i.i.d. binary hypervectors of length ``dimension``.
+
+    Parameters
+    ----------
+    count:
+        Number of hypervectors (rows of the returned matrix).
+    dimension:
+        Hypervector dimensionality ``D``.
+    rng:
+        Seed or generator controlling the draw.
+    density:
+        Probability that an element equals 1.  The HDC default of 0.5 gives
+        maximally distant random vectors (expected normalized Hamming
+        distance 0.5).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(count, dimension)`` array with dtype ``int8`` and values in
+        ``{0, 1}``.
+    """
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+    if dimension <= 0:
+        raise ValueError(f"dimension must be positive, got {dimension}")
+    if not 0.0 <= density <= 1.0:
+        raise ValueError(f"density must be in [0, 1], got {density}")
+    gen = _as_generator(rng)
+    return (gen.random((count, dimension)) < density).astype(np.int8)
+
+
+def random_bipolar_hypervectors(
+    count: int,
+    dimension: int,
+    rng: Optional[Union[int, np.random.Generator]] = None,
+) -> np.ndarray:
+    """Draw ``count`` i.i.d. bipolar hypervectors of length ``dimension``.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(count, dimension)`` array with dtype ``int8`` and values in
+        ``{-1, +1}``.
+    """
+    binary = random_binary_hypervectors(count, dimension, rng)
+    return to_bipolar(binary)
+
+
+def random_gaussian_hypervectors(
+    count: int,
+    dimension: int,
+    rng: Optional[Union[int, np.random.Generator]] = None,
+    scale: float = 1.0,
+) -> np.ndarray:
+    """Draw ``count`` dense Gaussian hypervectors (float32).
+
+    Floating-point base vectors are used by the floating-point variant of
+    random-projection encoding referenced in the paper (Thomas et al. 2021).
+    """
+    if count <= 0 or dimension <= 0:
+        raise ValueError("count and dimension must be positive")
+    gen = _as_generator(rng)
+    return gen.normal(0.0, scale, size=(count, dimension)).astype(np.float32)
+
+
+def level_hypervectors(
+    levels: int,
+    dimension: int,
+    rng: Optional[Union[int, np.random.Generator]] = None,
+) -> np.ndarray:
+    """Create a family of correlated *level* hypervectors.
+
+    Level hypervectors encode scalar magnitudes for ID-Level encoding.  The
+    standard construction starts from a random bipolar vector for the lowest
+    level and flips a fresh block of ``dimension / (2 * (levels - 1))``
+    positions for every subsequent level, so that nearby levels stay similar
+    while the lowest and highest levels end up (nearly) orthogonal (half of
+    the positions flipped in total).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(levels, dimension)`` bipolar ``int8`` matrix.
+    """
+    if levels < 2:
+        raise ValueError(f"levels must be >= 2, got {levels}")
+    if dimension <= 0:
+        raise ValueError(f"dimension must be positive, got {dimension}")
+    gen = _as_generator(rng)
+    base = random_bipolar_hypervectors(1, dimension, gen)[0]
+    out = np.empty((levels, dimension), dtype=np.int8)
+    out[0] = base
+    # Half of the positions are flipped exactly once over the whole sweep, in
+    # a random order, so level i and level j differ in
+    # ~|i - j| / (2 * (levels - 1)) of the dimensions and the two extreme
+    # levels are nearly orthogonal.
+    flip_order = gen.permutation(dimension)
+    per_step = dimension / (2 * (levels - 1))
+    current = base.copy()
+    flipped_so_far = 0
+    for level in range(1, levels):
+        target = int(round(level * per_step))
+        positions = flip_order[flipped_so_far:target]
+        current[positions] = -current[positions]
+        flipped_so_far = target
+        out[level] = current
+    return out
+
+
+def bundle(hypervectors: ArrayLike, axis: int = 0) -> np.ndarray:
+    """Bundle (superpose) hypervectors by element-wise summation.
+
+    Bundling is the HDC analogue of set union: the sum of bipolar vectors is
+    most similar (under dot similarity) to each of its constituents.  The
+    result is an integer-valued vector; callers typically re-binarize it with
+    :func:`binarize` or :func:`bipolarize`.
+    """
+    arr = np.asarray(hypervectors)
+    if arr.ndim == 0:
+        raise ValueError("cannot bundle a scalar")
+    return arr.sum(axis=axis)
+
+
+def bind(a: ArrayLike, b: ArrayLike) -> np.ndarray:
+    """Bind two hypervectors.
+
+    For bipolar vectors binding is element-wise multiplication (XOR in the
+    binary domain); it produces a vector dissimilar to both operands while
+    preserving distances, which is how ID-Level encoding attaches a value to
+    a position.
+    """
+    a_arr = np.asarray(a)
+    b_arr = np.asarray(b)
+    if a_arr.shape[-1] != b_arr.shape[-1]:
+        raise ValueError(
+            f"dimension mismatch: {a_arr.shape[-1]} vs {b_arr.shape[-1]}"
+        )
+    return a_arr * b_arr
+
+
+def permute(hypervector: ArrayLike, shifts: int = 1) -> np.ndarray:
+    """Cyclically permute a hypervector (or batch) by ``shifts`` positions.
+
+    Permutation encodes sequence/order information; it is included for
+    completeness of the HDC substrate even though MEMHD itself only needs
+    projection encoding.
+    """
+    arr = np.asarray(hypervector)
+    return np.roll(arr, shifts, axis=-1)
+
+
+def binarize(values: ArrayLike, threshold: Optional[float] = None) -> np.ndarray:
+    """Quantize real values to the ``{0, 1}`` alphabet.
+
+    Values strictly greater than ``threshold`` map to 1, the rest to 0.  When
+    ``threshold`` is ``None`` the mean of ``values`` is used, which is the
+    1-bit quantization rule MEMHD applies to its associative memory
+    (Sec. III-B of the paper).
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if threshold is None:
+        threshold = float(arr.mean())
+    return (arr > threshold).astype(np.int8)
+
+
+def bipolarize(values: ArrayLike, threshold: float = 0.0) -> np.ndarray:
+    """Quantize real values to the ``{-1, +1}`` alphabet.
+
+    Values greater than or equal to ``threshold`` map to +1, the rest to -1
+    (the sign function with ties broken upward).
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    return np.where(arr >= threshold, 1, -1).astype(np.int8)
+
+
+def to_bipolar(binary: ArrayLike) -> np.ndarray:
+    """Map ``{0, 1}`` values to ``{-1, +1}`` via ``2 * x - 1``."""
+    arr = np.asarray(binary)
+    unique = np.unique(arr)
+    if not np.all(np.isin(unique, (0, 1))):
+        raise ValueError("to_bipolar expects values in {0, 1}")
+    return (2 * arr.astype(np.int8) - 1).astype(np.int8)
+
+
+def to_binary(bipolar: ArrayLike) -> np.ndarray:
+    """Map ``{-1, +1}`` values to ``{0, 1}`` via ``(x + 1) / 2``."""
+    arr = np.asarray(bipolar)
+    unique = np.unique(arr)
+    if not np.all(np.isin(unique, (-1, 1))):
+        raise ValueError("to_binary expects values in {-1, +1}")
+    return ((arr.astype(np.int8) + 1) // 2).astype(np.int8)
+
+
+def majority_bundle(
+    hypervectors: ArrayLike,
+    rng: Optional[Union[int, np.random.Generator]] = None,
+) -> np.ndarray:
+    """Bundle bipolar hypervectors and re-binarize with random tie breaking.
+
+    This is the classical "majority rule" used when a single-pass binary
+    class vector is wanted directly.  Ties (possible when the number of
+    bundled vectors is even) are broken by independent fair coin flips drawn
+    from ``rng``.
+    """
+    arr = np.asarray(hypervectors)
+    summed = bundle(arr, axis=0)
+    gen = _as_generator(rng)
+    ties = summed == 0
+    result = np.where(summed > 0, 1, -1).astype(np.int8)
+    if np.any(ties):
+        coin = gen.integers(0, 2, size=int(ties.sum())) * 2 - 1
+        result[ties] = coin.astype(np.int8)
+    return result
+
+
+def hypervector_counts(hypervectors: Iterable[np.ndarray]) -> np.ndarray:
+    """Accumulate an integer count vector from an iterable of hypervectors.
+
+    Useful for streaming single-pass training where keeping the whole
+    training set in memory is undesirable.
+    """
+    total: Optional[np.ndarray] = None
+    for hv in hypervectors:
+        arr = np.asarray(hv, dtype=np.int64)
+        if total is None:
+            total = arr.copy()
+        else:
+            if arr.shape != total.shape:
+                raise ValueError("all hypervectors must share the same shape")
+            total += arr
+    if total is None:
+        raise ValueError("hypervector_counts received an empty iterable")
+    return total

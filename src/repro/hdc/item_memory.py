@@ -1,0 +1,160 @@
+"""Item memory and associative cleanup.
+
+Classical HDC systems keep, besides the class-vector associative memory, an
+*item memory*: a codebook of named atomic hypervectors (symbols, feature
+ids, level values) together with a *cleanup* operation that maps a noisy
+hypervector back to the nearest stored item.  The MEMHD paper's encoders use
+item memories implicitly (the ID and level tables of ID-Level encoding); the
+explicit structure here completes the HDC substrate so downstream users can
+build the compositional applications (n-gram language identification,
+sequence processing, symbolic reasoning) that the HDC literature builds on
+the same primitives.
+
+The cleanup operation is exactly an associative search, so
+:class:`ItemMemory` can also be mapped onto an IMC array via
+``repro.imc.mapping.tile_matrix`` -- its :meth:`as_binary_matrix` view
+exists for that purpose.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.hdc.hypervector import _as_generator, random_bipolar_hypervectors, to_binary
+from repro.hdc.similarity import dot_similarity
+
+
+class ItemMemory:
+    """A named codebook of bipolar hypervectors with cleanup search.
+
+    Parameters
+    ----------
+    dimension:
+        Hypervector dimensionality of every stored item.
+    rng:
+        Seed or generator used when items are created with :meth:`add_random`.
+    """
+
+    def __init__(
+        self,
+        dimension: int,
+        rng: Optional[Union[int, np.random.Generator]] = None,
+    ) -> None:
+        if dimension <= 0:
+            raise ValueError("dimension must be positive")
+        self.dimension = int(dimension)
+        self._rng = _as_generator(rng)
+        self._names: List[str] = []
+        self._index: Dict[str, int] = {}
+        self._vectors = np.empty((0, self.dimension), dtype=np.int8)
+
+    # ----------------------------------------------------------- container
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def names(self) -> Tuple[str, ...]:
+        """Stored item names, in insertion order."""
+        return tuple(self._names)
+
+    def vector(self, name: str) -> np.ndarray:
+        """The stored bipolar hypervector of ``name`` (a copy)."""
+        if name not in self._index:
+            raise KeyError(f"unknown item {name!r}")
+        return self._vectors[self._index[name]].copy()
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self.vector(name)
+
+    # ------------------------------------------------------------ mutation
+    def add(self, name: str, vector: np.ndarray) -> np.ndarray:
+        """Store an explicit bipolar hypervector under ``name``."""
+        if name in self._index:
+            raise ValueError(f"item {name!r} already exists")
+        arr = np.asarray(vector)
+        if arr.shape != (self.dimension,):
+            raise ValueError(
+                f"vector must have shape ({self.dimension},), got {arr.shape}"
+            )
+        if not np.all(np.isin(arr, (-1, 1))):
+            raise ValueError("item memory stores bipolar (+/-1) hypervectors")
+        self._index[name] = len(self._names)
+        self._names.append(name)
+        self._vectors = np.vstack([self._vectors, arr.astype(np.int8)[None, :]])
+        return self.vector(name)
+
+    def add_random(self, name: str) -> np.ndarray:
+        """Create, store and return a fresh random hypervector for ``name``."""
+        vector = random_bipolar_hypervectors(1, self.dimension, self._rng)[0]
+        return self.add(name, vector)
+
+    def get_or_create(self, name: str) -> np.ndarray:
+        """Return the item for ``name``, creating a random one if missing."""
+        if name in self._index:
+            return self.vector(name)
+        return self.add_random(name)
+
+    def encode_sequence(self, names: Iterable[str]) -> np.ndarray:
+        """Bundle the items of a sequence of names (creating missing ones).
+
+        Returns the integer-valued bundled vector; callers typically
+        re-binarize it before storing or searching.
+        """
+        total = np.zeros(self.dimension, dtype=np.int64)
+        count = 0
+        for name in names:
+            total += self.get_or_create(name).astype(np.int64)
+            count += 1
+        if count == 0:
+            raise ValueError("encode_sequence needs at least one name")
+        return total
+
+    # ------------------------------------------------------------- cleanup
+    def cleanup(self, query: np.ndarray) -> Tuple[str, float]:
+        """Return the stored item most similar to ``query`` (dot similarity).
+
+        The similarity is normalized by the dimension so it is comparable
+        across item memories of different sizes.
+        """
+        if not self._names:
+            raise ValueError("item memory is empty")
+        arr = np.asarray(query, dtype=np.float64)
+        if arr.shape != (self.dimension,):
+            raise ValueError(
+                f"query must have shape ({self.dimension},), got {arr.shape}"
+            )
+        sims = dot_similarity(arr, self._vectors.astype(np.float64))
+        best = int(np.argmax(sims))
+        return self._names[best], float(sims[best]) / self.dimension
+
+    def cleanup_batch(self, queries: np.ndarray) -> List[str]:
+        """Cleanup every row of a ``(n, D)`` query batch."""
+        arr = np.asarray(queries, dtype=np.float64)
+        if arr.ndim != 2 or arr.shape[1] != self.dimension:
+            raise ValueError(f"queries must have shape (n, {self.dimension})")
+        sims = dot_similarity(arr, self._vectors.astype(np.float64))
+        winners = np.argmax(np.atleast_2d(sims), axis=1)
+        return [self._names[int(index)] for index in winners]
+
+    # ------------------------------------------------------------- exports
+    def as_matrix(self) -> np.ndarray:
+        """All stored items as a ``(num_items, D)`` bipolar matrix (copy)."""
+        return self._vectors.copy()
+
+    def as_binary_matrix(self) -> np.ndarray:
+        """The codebook in ``{0, 1}`` form, transposed to ``(D, num_items)``.
+
+        This is the layout an IMC array stores for cleanup-by-MVM: one item
+        per column, queries drive the rows.
+        """
+        if not self._names:
+            raise ValueError("item memory is empty")
+        return to_binary(self._vectors).T.copy()
+
+    def memory_bits(self) -> int:
+        """Storage of the codebook in single-bit cells."""
+        return len(self._names) * self.dimension

@@ -1,0 +1,190 @@
+"""Memory-requirement model (paper Table I).
+
+Table I of the paper expresses the storage needed by each model family as a
+number of single-bit cells:
+
+==============  ==========================  =====================
+Model           Encoding module             Associative memory
+==============  ==========================  =====================
+SearcHD         ``(f + L) * D``             ``k * D * N``
+QuantHD         ``(f + L) * D``             ``k * D``
+LeHDC           ``(f + L) * D``             ``k * D``
+BasicHDC        ``f * D``                   ``k * D``
+MEMHD           ``f * D``                   ``C * D``
+==============  ==========================  =====================
+
+where ``f`` is the number of input features, ``L`` the number of levels of
+ID-Level encoding, ``D`` the hypervector dimensionality, ``k`` the number of
+classes, ``C`` the number of IMC columns used by MEMHD's multi-centroid AM
+and ``N`` SearcHD's vector-quantization factor.
+
+These formulas drive the x-axis of Fig. 3 (memory in KB) and the Table I
+benchmark.  The classifiers in :mod:`repro.baselines` and
+:mod:`repro.core.model` report their own memory through this module so that
+Fig. 3 is generated from the same code path that defines the models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+#: Bits per kibibyte, used to express Table I / Fig. 3 memory in KB.
+BITS_PER_KIB = 8 * 1024
+
+
+def bits_to_kib(bits: int) -> float:
+    """Convert a bit count to kibibytes (the KB unit used in Fig. 3)."""
+    if bits < 0:
+        raise ValueError(f"bits must be non-negative, got {bits}")
+    return bits / BITS_PER_KIB
+
+
+def projection_encoder_bits(num_features: int, dimension: int) -> int:
+    """Encoding-module bits for projection encoding: ``f * D``."""
+    _check_positive(num_features=num_features, dimension=dimension)
+    return num_features * dimension
+
+
+def id_level_encoder_bits(num_features: int, num_levels: int, dimension: int) -> int:
+    """Encoding-module bits for ID-Level encoding: ``(f + L) * D``."""
+    _check_positive(
+        num_features=num_features, num_levels=num_levels, dimension=dimension
+    )
+    return (num_features + num_levels) * dimension
+
+
+def associative_memory_bits(
+    rows: int, dimension: int, quantization_factor: int = 1
+) -> int:
+    """Associative-memory bits for ``rows`` binary class vectors.
+
+    ``rows`` is ``k`` for single-vector-per-class models, ``C`` for MEMHD's
+    multi-centroid AM, and the ``quantization_factor`` is SearcHD's ``N``
+    (each class keeps ``N`` binary vectors).
+    """
+    _check_positive(rows=rows, dimension=dimension)
+    if quantization_factor < 1:
+        raise ValueError(
+            f"quantization_factor must be >= 1, got {quantization_factor}"
+        )
+    return rows * dimension * quantization_factor
+
+
+@dataclass(frozen=True)
+class MemoryReport:
+    """Breakdown of a model's storage footprint in bits.
+
+    Attributes
+    ----------
+    model:
+        Human-readable model family name (e.g. ``"MEMHD"``).
+    encoder_bits:
+        Bits of the encoding module (projection matrix, or ID + level
+        hypervectors).
+    am_bits:
+        Bits of the associative memory.
+    """
+
+    model: str
+    encoder_bits: int
+    am_bits: int
+
+    @property
+    def total_bits(self) -> int:
+        return self.encoder_bits + self.am_bits
+
+    @property
+    def encoder_kib(self) -> float:
+        return bits_to_kib(self.encoder_bits)
+
+    @property
+    def am_kib(self) -> float:
+        return bits_to_kib(self.am_bits)
+
+    @property
+    def total_kib(self) -> float:
+        return bits_to_kib(self.total_bits)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dictionary representation used by the benchmark reporters."""
+        return {
+            "model": self.model,
+            "encoder_bits": self.encoder_bits,
+            "am_bits": self.am_bits,
+            "total_bits": self.total_bits,
+            "encoder_kib": self.encoder_kib,
+            "am_kib": self.am_kib,
+            "total_kib": self.total_kib,
+        }
+
+
+#: Model families covered by Table I, with the encoder family each uses.
+TABLE1_MODEL_FAMILIES = {
+    "SearcHD": "id-level",
+    "QuantHD": "id-level",
+    "LeHDC": "id-level",
+    "BasicHDC": "projection",
+    "MEMHD": "projection",
+}
+
+
+def model_memory_report(
+    model: str,
+    num_features: int,
+    dimension: int,
+    num_classes: int,
+    num_levels: int = 256,
+    num_columns: Optional[int] = None,
+    quantization_factor: int = 64,
+) -> MemoryReport:
+    """Compute the Table I memory breakdown for a named model family.
+
+    Parameters
+    ----------
+    model:
+        One of ``TABLE1_MODEL_FAMILIES`` (case-insensitive).
+    num_features, dimension, num_classes:
+        The ``f``, ``D`` and ``k`` of Table I.
+    num_levels:
+        ``L`` for ID-Level models (paper uses 256).
+    num_columns:
+        ``C`` for MEMHD (required when ``model == "MEMHD"``).
+    quantization_factor:
+        ``N`` for SearcHD (paper fixes 64).
+    """
+    key = _canonical_model_name(model)
+    if key in ("SearcHD", "QuantHD", "LeHDC"):
+        encoder_bits = id_level_encoder_bits(num_features, num_levels, dimension)
+    else:
+        encoder_bits = projection_encoder_bits(num_features, dimension)
+
+    if key == "SearcHD":
+        am_bits = associative_memory_bits(
+            num_classes, dimension, quantization_factor=quantization_factor
+        )
+    elif key == "MEMHD":
+        if num_columns is None:
+            raise ValueError("MEMHD memory report requires num_columns (C)")
+        am_bits = associative_memory_bits(num_columns, dimension)
+    else:
+        am_bits = associative_memory_bits(num_classes, dimension)
+
+    return MemoryReport(model=key, encoder_bits=encoder_bits, am_bits=am_bits)
+
+
+def _canonical_model_name(model: str) -> str:
+    lookup = {name.lower(): name for name in TABLE1_MODEL_FAMILIES}
+    key = lookup.get(model.lower())
+    if key is None:
+        raise ValueError(
+            f"unknown model {model!r}; expected one of "
+            f"{sorted(TABLE1_MODEL_FAMILIES)}"
+        )
+    return key
+
+
+def _check_positive(**named_values: int) -> None:
+    for name, value in named_values.items():
+        if value <= 0:
+            raise ValueError(f"{name} must be positive, got {value}")

@@ -1,0 +1,128 @@
+"""Similarity metrics for associative search.
+
+The paper performs associative search with the *dot similarity* (Eq. 3),
+because a dot product is exactly the operation an IMC crossbar computes in a
+single matrix-vector multiplication.  Cosine and Hamming similarity are
+provided for completeness (they are the metrics used by several of the
+baseline models' original papers) and for the test suite, which checks the
+well-known equivalences between them for binary/bipolar data.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def _atleast_2d(x: np.ndarray) -> Tuple[np.ndarray, bool]:
+    """Promote a 1-D vector to a single-row matrix, remembering the squeeze."""
+    arr = np.asarray(x)
+    if arr.ndim == 1:
+        return arr[None, :], True
+    if arr.ndim == 2:
+        return arr, False
+    raise ValueError(f"expected a 1-D or 2-D array, got ndim={arr.ndim}")
+
+
+def dot_similarity(queries: np.ndarray, references: np.ndarray) -> np.ndarray:
+    """Dot-product similarity between query and reference hypervectors.
+
+    Parameters
+    ----------
+    queries:
+        ``(n, D)`` or ``(D,)`` array of query hypervectors.
+    references:
+        ``(m, D)`` or ``(D,)`` array of reference (class) hypervectors.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(n, m)`` similarity matrix (squeezed when either input was 1-D).
+    """
+    q, q_squeeze = _atleast_2d(queries)
+    r, r_squeeze = _atleast_2d(references)
+    if q.shape[1] != r.shape[1]:
+        raise ValueError(
+            f"dimension mismatch: queries have D={q.shape[1]}, "
+            f"references have D={r.shape[1]}"
+        )
+    sims = q.astype(np.float64) @ r.astype(np.float64).T
+    if q_squeeze and r_squeeze:
+        return sims[0, 0]
+    if q_squeeze:
+        return sims[0]
+    if r_squeeze:
+        return sims[:, 0]
+    return sims
+
+
+def cosine_similarity(queries: np.ndarray, references: np.ndarray) -> np.ndarray:
+    """Cosine similarity (dot similarity of L2-normalized vectors)."""
+    q, q_squeeze = _atleast_2d(queries)
+    r, r_squeeze = _atleast_2d(references)
+    if q.shape[1] != r.shape[1]:
+        raise ValueError("dimension mismatch between queries and references")
+    qf = q.astype(np.float64)
+    rf = r.astype(np.float64)
+    q_norm = np.linalg.norm(qf, axis=1, keepdims=True)
+    r_norm = np.linalg.norm(rf, axis=1, keepdims=True)
+    q_norm[q_norm == 0.0] = 1.0
+    r_norm[r_norm == 0.0] = 1.0
+    sims = (qf / q_norm) @ (rf / r_norm).T
+    # Rounding (and denormal underflow in the norms) can push the result a
+    # hair outside [-1, 1]; clamp so callers can rely on the cosine bound.
+    sims = np.clip(sims, -1.0, 1.0)
+    if q_squeeze and r_squeeze:
+        return sims[0, 0]
+    if q_squeeze:
+        return sims[0]
+    if r_squeeze:
+        return sims[:, 0]
+    return sims
+
+
+def hamming_distance(queries: np.ndarray, references: np.ndarray) -> np.ndarray:
+    """Element-count Hamming distance between binary (or bipolar) vectors."""
+    q, q_squeeze = _atleast_2d(queries)
+    r, r_squeeze = _atleast_2d(references)
+    if q.shape[1] != r.shape[1]:
+        raise ValueError("dimension mismatch between queries and references")
+    dist = (q[:, None, :] != r[None, :, :]).sum(axis=-1).astype(np.int64)
+    if q_squeeze and r_squeeze:
+        return dist[0, 0]
+    if q_squeeze:
+        return dist[0]
+    if r_squeeze:
+        return dist[:, 0]
+    return dist
+
+
+def hamming_similarity(queries: np.ndarray, references: np.ndarray) -> np.ndarray:
+    """Normalized Hamming *similarity*: fraction of matching positions."""
+    q, _ = _atleast_2d(queries)
+    dimension = q.shape[1]
+    dist = hamming_distance(queries, references)
+    return 1.0 - np.asarray(dist, dtype=np.float64) / dimension
+
+
+def pairwise_dot(vectors: np.ndarray) -> np.ndarray:
+    """Symmetric pairwise dot-similarity matrix of a set of vectors."""
+    arr = np.asarray(vectors, dtype=np.float64)
+    if arr.ndim != 2:
+        raise ValueError("pairwise_dot expects a 2-D array")
+    return arr @ arr.T
+
+
+def top1(similarities: np.ndarray) -> np.ndarray:
+    """Index of the most similar reference for each query row.
+
+    Ties are resolved in favour of the lowest index (numpy argmax semantics),
+    which matches deterministic hardware comparator behaviour.
+    """
+    sims = np.asarray(similarities)
+    if sims.ndim == 1:
+        return int(np.argmax(sims))
+    if sims.ndim == 2:
+        return np.argmax(sims, axis=1)
+    raise ValueError("top1 expects a 1-D or 2-D similarity array")

@@ -1,0 +1,74 @@
+"""In-memory computing (IMC) architecture substrate.
+
+This package models the hardware side of the paper:
+
+* :mod:`repro.imc.array` -- a single IMC array (``rows x cols`` of 1-bit
+  cells) with programming, binary-input MVM and utilization accounting.
+* :mod:`repro.imc.mapping` -- analytical mapping of encoding-module and
+  associative-memory matrices onto fixed-size arrays for the three schemes
+  of Fig. 1 (basic, partitioned, MEMHD fully-utilized), producing the
+  cycle / array / utilization numbers of Table II.
+* :mod:`repro.imc.cost_model` -- SRAM-IMC energy and latency cost model
+  (the NeuroSim-derived constants substitute) behind Fig. 7.
+* :mod:`repro.imc.simulator` -- a functional, tile-accurate simulator that
+  maps a trained MEMHD model into arrays and reproduces the software
+  model's predictions bit-exactly while counting cycles.
+* :mod:`repro.imc.noise` -- device non-ideality injection (bit flips,
+  stuck-at faults, analog read noise) for robustness studies.
+* :mod:`repro.imc.analysis` -- Table II / Fig. 7 report generation.
+"""
+
+from repro.imc.array import IMCArrayConfig, IMCArray
+from repro.imc.adc import ADCConfig, adc_energy_scale, evaluate_adc_sweep
+from repro.imc.scheduler import AcceleratorScheduler, ScheduleReport
+from repro.imc.mapping import (
+    AMStructure,
+    MappingAnalysis,
+    basic_am_structure,
+    partitioned_am_structure,
+    memhd_am_structure,
+    analyze_am_mapping,
+    analyze_em_mapping,
+    tile_matrix,
+    TiledMatrix,
+)
+from repro.imc.cost_model import IMCCostParameters, CostModel, EnergyBreakdown
+from repro.imc.simulator import InMemoryInference, SimulatedInferenceStats
+from repro.imc.noise import NoiseModel, flip_bits, apply_stuck_at_faults
+from repro.imc.analysis import (
+    MappingReport,
+    full_mapping_report,
+    table2_rows,
+    energy_comparison,
+)
+
+__all__ = [
+    "IMCArrayConfig",
+    "IMCArray",
+    "ADCConfig",
+    "adc_energy_scale",
+    "evaluate_adc_sweep",
+    "AcceleratorScheduler",
+    "ScheduleReport",
+    "AMStructure",
+    "MappingAnalysis",
+    "basic_am_structure",
+    "partitioned_am_structure",
+    "memhd_am_structure",
+    "analyze_am_mapping",
+    "analyze_em_mapping",
+    "tile_matrix",
+    "TiledMatrix",
+    "IMCCostParameters",
+    "CostModel",
+    "EnergyBreakdown",
+    "InMemoryInference",
+    "SimulatedInferenceStats",
+    "NoiseModel",
+    "flip_bits",
+    "apply_stuck_at_faults",
+    "MappingReport",
+    "full_mapping_report",
+    "table2_rows",
+    "energy_comparison",
+]

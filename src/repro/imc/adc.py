@@ -1,0 +1,161 @@
+"""ADC / DAC precision modelling for IMC readout and drive.
+
+The functional simulator in :mod:`repro.imc.simulator` assumes ideal
+peripherals: row drivers apply the exact (real-valued) inputs and column
+ADCs return exact integer sums.  Real IMC macros quantize both:
+
+* the **input DAC** drives each word line with a ``input_bits``-bit version
+  of the feature value (binary queries need only 1 bit, but the encoding
+  module's inputs are analog features in ``[0, 1]``);
+* the **column ADC** digitizes each column's accumulated sum with
+  ``output_bits`` of resolution over a fixed full-scale range.
+
+Low ADC resolution is the dominant accuracy/energy trade-off in published
+IMC macros, so this module provides a small, composable model of both
+effects plus a helper that evaluates the accuracy of a mapped MEMHD model as
+a function of ADC resolution (used by the ``bench_adc_precision`` ablation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ADCConfig:
+    """Peripheral quantization settings for one IMC array.
+
+    Attributes
+    ----------
+    output_bits:
+        Column ADC resolution in bits.  ``None`` models an ideal (infinite
+        resolution) readout.
+    full_scale:
+        The column-sum value mapped to the ADC's top code.  For a binary
+        ``rows x cols`` array the natural full scale is the number of rows
+        (every cell on and every input high); callers mapping sub-matrices
+        may use the actually-used row count for a tighter range.
+    input_bits:
+        Input DAC resolution in bits.  ``None`` models ideal (real-valued)
+        row drive.  Inputs are assumed to lie in ``[0, 1]``.
+    signed:
+        When True, the ADC range covers ``[-full_scale, +full_scale]``
+        (needed if the digital periphery pre-subtracts an offset before the
+        ADC); when False (default) it covers ``[0, full_scale]``.
+    """
+
+    output_bits: Optional[int] = 8
+    full_scale: float = 128.0
+    input_bits: Optional[int] = None
+    signed: bool = False
+
+    def __post_init__(self) -> None:
+        if self.output_bits is not None and self.output_bits < 1:
+            raise ValueError("output_bits must be >= 1 or None")
+        if self.input_bits is not None and self.input_bits < 1:
+            raise ValueError("input_bits must be >= 1 or None")
+        if self.full_scale <= 0:
+            raise ValueError("full_scale must be positive")
+
+    @property
+    def output_levels(self) -> Optional[int]:
+        """Number of distinct ADC output codes (``None`` when ideal)."""
+        if self.output_bits is None:
+            return None
+        return 2 ** self.output_bits
+
+    @property
+    def lsb(self) -> Optional[float]:
+        """Size of one ADC step in column-sum units (``None`` when ideal)."""
+        levels = self.output_levels
+        if levels is None:
+            return None
+        span = 2 * self.full_scale if self.signed else self.full_scale
+        return span / (levels - 1)
+
+    def quantize_inputs(self, inputs: np.ndarray) -> np.ndarray:
+        """Quantize row-drive values in ``[0, 1]`` to the DAC resolution."""
+        arr = np.asarray(inputs, dtype=np.float64)
+        if self.input_bits is None:
+            return arr.copy()
+        levels = 2 ** self.input_bits - 1
+        return np.round(np.clip(arr, 0.0, 1.0) * levels) / levels
+
+    def quantize_outputs(self, sums: np.ndarray) -> np.ndarray:
+        """Quantize column sums to the ADC resolution (with clipping)."""
+        arr = np.asarray(sums, dtype=np.float64)
+        if self.output_bits is None:
+            return arr.copy()
+        low = -self.full_scale if self.signed else 0.0
+        clipped = np.clip(arr, low, self.full_scale)
+        lsb = self.lsb
+        return np.round((clipped - low) / lsb) * lsb + low
+
+
+def adc_energy_scale(output_bits: Optional[int], reference_bits: int = 8) -> float:
+    """Relative ADC energy versus a reference resolution.
+
+    ADC energy grows roughly 4x per additional 2 bits (the usual
+    Walden-figure-of-merit scaling, i.e. proportional to ``2**bits``);
+    this helper exposes that scaling so cost studies can trade accuracy
+    against readout energy.  Ideal readout (``None``) is treated as the
+    reference.
+    """
+    if reference_bits < 1:
+        raise ValueError("reference_bits must be >= 1")
+    if output_bits is None:
+        return 1.0
+    if output_bits < 1:
+        raise ValueError("output_bits must be >= 1 or None")
+    return 2.0 ** (output_bits - reference_bits)
+
+
+def evaluate_adc_sweep(
+    model,
+    features: np.ndarray,
+    labels: np.ndarray,
+    bit_settings,
+    array_config=None,
+) -> dict:
+    """Accuracy of a mapped MEMHD model across ADC resolutions.
+
+    Parameters
+    ----------
+    model:
+        A fitted :class:`repro.core.model.MEMHDModel`.
+    features, labels:
+        Evaluation split.
+    bit_settings:
+        Iterable of ADC resolutions (ints or ``None`` for ideal readout).
+    array_config:
+        IMC array geometry; defaults to 128x128.
+
+    Returns
+    -------
+    dict
+        ``{bits: accuracy}`` for every requested setting.  The associative
+        search is evaluated with the ADC applied to the AM column sums
+        (full scale = the model's dimension, the maximum possible binary
+        dot product).
+    """
+    from repro.imc.array import IMCArrayConfig
+    from repro.imc.simulator import InMemoryInference
+
+    array = array_config or IMCArrayConfig(128, 128)
+    engine = InMemoryInference(model, array)
+    queries = engine.encode(np.asarray(features, dtype=np.float64))
+    if queries.ndim == 1:
+        queries = queries[None, :]
+    scores = np.atleast_2d(engine.associative_search(queries))
+    y = np.asarray(labels)
+
+    results = {}
+    for bits in bit_settings:
+        adc = ADCConfig(output_bits=bits, full_scale=float(model.config.dimension))
+        quantized = adc.quantize_outputs(scores)
+        predictions = engine.column_classes[np.argmax(quantized, axis=1)]
+        results[bits] = float(np.mean(predictions == y))
+    return results

@@ -1,0 +1,256 @@
+"""Table II / Fig. 7 style mapping and energy analysis.
+
+This module turns the analytical mapping layer into the exact report
+structures the paper presents:
+
+* :func:`full_mapping_report` / :func:`table2_rows` -- computation cycles,
+  array usage and AM utilization of the basic, partitioned and MEMHD
+  mappings for a given dataset profile and IMC array size (Table II),
+  including the "Improv." factors of the last column.
+* :func:`energy_comparison` -- normalized AM energy consumption, cycle
+  count and array usage across iso-accuracy model configurations (Fig. 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.imc.array import IMCArrayConfig
+from repro.imc.cost_model import CostModel
+from repro.imc.mapping import (
+    AMStructure,
+    MappingAnalysis,
+    analyze_am_mapping,
+    analyze_em_mapping,
+    basic_am_structure,
+    memhd_am_structure,
+    partitioned_am_structure,
+)
+
+
+@dataclass(frozen=True)
+class MappingReport:
+    """One column of Table II: a mapping method's full accounting."""
+
+    method: str
+    am_structure: str
+    em_cycles: int
+    am_cycles: int
+    em_arrays: int
+    am_arrays: int
+    am_utilization: float
+
+    @property
+    def total_cycles(self) -> int:
+        return self.em_cycles + self.am_cycles
+
+    @property
+    def total_arrays(self) -> int:
+        return self.em_arrays + self.am_arrays
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "method": self.method,
+            "am_structure": self.am_structure,
+            "em_cycles": self.em_cycles,
+            "am_cycles": self.am_cycles,
+            "total_cycles": self.total_cycles,
+            "em_arrays": self.em_arrays,
+            "am_arrays": self.am_arrays,
+            "total_arrays": self.total_arrays,
+            "am_utilization": self.am_utilization,
+        }
+
+
+def _report_for(
+    num_features: int,
+    encoding_dimension: int,
+    am_structure: AMStructure,
+    array: IMCArrayConfig,
+) -> MappingReport:
+    """Assemble one MappingReport from the EM and AM analytical mappings."""
+    em = analyze_em_mapping(num_features, encoding_dimension, array)
+    am = analyze_am_mapping(am_structure, array)
+    return MappingReport(
+        method=am_structure.label,
+        am_structure=am_structure.structure_label,
+        em_cycles=em.cycles,
+        am_cycles=am.cycles,
+        em_arrays=em.arrays,
+        am_arrays=am.arrays,
+        am_utilization=am.utilization,
+    )
+
+
+def full_mapping_report(
+    num_features: int,
+    num_classes: int,
+    baseline_dimension: int,
+    memhd_dimension: int,
+    memhd_columns: int,
+    partition_counts: Sequence[int],
+    array: Optional[IMCArrayConfig] = None,
+) -> List[MappingReport]:
+    """Table II accounting for one dataset.
+
+    Parameters
+    ----------
+    num_features:
+        Input feature count ``f`` (784 for MNIST/FMNIST, 617 for ISOLET).
+    num_classes:
+        Number of classes ``k``.
+    baseline_dimension:
+        Dimensionality of the Basic/Partitioning baselines (10240 in the
+        paper).
+    memhd_dimension / memhd_columns:
+        MEMHD's ``D`` and ``C`` (128x128 for MNIST/FMNIST, 512x128 for
+        ISOLET in Table II).
+    partition_counts:
+        Partition counts ``P`` to report for the partitioning baseline
+        ((5, 10) and (2, 4) in the paper).
+    array:
+        IMC array geometry; defaults to 128x128.
+    """
+    array = array or IMCArrayConfig(128, 128)
+    reports = [
+        _report_for(
+            num_features,
+            baseline_dimension,
+            basic_am_structure(baseline_dimension, num_classes),
+            array,
+        )
+    ]
+    for partitions in partition_counts:
+        reports.append(
+            _report_for(
+                num_features,
+                baseline_dimension,
+                partitioned_am_structure(baseline_dimension, num_classes, partitions),
+                array,
+            )
+        )
+    reports.append(
+        _report_for(
+            num_features,
+            memhd_dimension,
+            memhd_am_structure(memhd_dimension, memhd_columns),
+            array,
+        )
+    )
+    return reports
+
+
+def improvement_factors(reports: Sequence[MappingReport]) -> Dict[str, float]:
+    """The "Improv." column of Table II: baseline vs. MEMHD ratios.
+
+    The baseline is the first report (Basic mapping) and MEMHD is the last;
+    utilization improvement is reported as the difference between MEMHD's
+    utilization (always 1.0) and the best baseline utilization, matching
+    the paper's "percentage-point increase" convention.
+    """
+    if len(reports) < 2:
+        raise ValueError("need at least a baseline and a MEMHD report")
+    baseline = reports[0]
+    memhd = reports[-1]
+    best_baseline_utilization = max(r.am_utilization for r in reports[:-1])
+    return {
+        "cycle_reduction": baseline.total_cycles / memhd.total_cycles,
+        "array_reduction": baseline.total_arrays / memhd.total_arrays,
+        "utilization_gain": memhd.am_utilization - best_baseline_utilization,
+    }
+
+
+def table2_rows(
+    reports: Sequence[MappingReport],
+) -> List[Dict[str, object]]:
+    """Flatten MappingReports into printable Table II rows."""
+    rows = []
+    for report in reports:
+        row = report.as_dict()
+        row["am_utilization"] = f"{report.am_utilization * 100:.2f}%"
+        rows.append(row)
+    return rows
+
+
+@dataclass(frozen=True)
+class EnergyComparisonEntry:
+    """One bar group of Fig. 7: a model's AM arrays, cycles and energy."""
+
+    model: str
+    am_structure: str
+    arrays: int
+    cycles: int
+    energy_pj: float
+    normalized_energy: float
+    normalized_cycles: float
+    normalized_arrays: float
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "model": self.model,
+            "am_structure": self.am_structure,
+            "arrays": self.arrays,
+            "cycles": self.cycles,
+            "energy_pj": self.energy_pj,
+            "normalized_energy": self.normalized_energy,
+            "normalized_cycles": self.normalized_cycles,
+            "normalized_arrays": self.normalized_arrays,
+        }
+
+
+def energy_comparison(
+    model_structures: Sequence[Dict[str, object]],
+    array: Optional[IMCArrayConfig] = None,
+    cost_model: Optional[CostModel] = None,
+) -> List[EnergyComparisonEntry]:
+    """Fig. 7: normalized AM energy, cycles and array usage per model.
+
+    Parameters
+    ----------
+    model_structures:
+        Sequence of dictionaries with keys ``name``, ``dimension`` (AM
+        dimensionality per partition), ``num_vectors`` (stored columns) and
+        optionally ``partitions`` (default 1).  These describe the AM
+        structures of the iso-accuracy configurations compared in Fig. 7.
+    array:
+        IMC array geometry (default 128x128).
+    cost_model:
+        Cost model mapping cycles to energy; defaults to the library's
+        SRAM-IMC constants.
+    """
+    array = array or IMCArrayConfig(128, 128)
+    model = cost_model or CostModel(array=array)
+
+    analyses: List[MappingAnalysis] = []
+    labels: List[str] = []
+    for spec in model_structures:
+        structure = AMStructure(
+            dimension=int(spec["dimension"]),
+            num_vectors=int(spec["num_vectors"]),
+            partitions=int(spec.get("partitions", 1)),
+            label=str(spec["name"]),
+        )
+        analyses.append(analyze_am_mapping(structure, array))
+        labels.append(str(spec["name"]))
+
+    costs = [model.inference_cost(analysis) for analysis in analyses]
+    max_energy = max(cost.energy_pj for cost in costs)
+    max_cycles = max(cost.cycles for cost in costs)
+    max_arrays = max(cost.arrays for cost in costs)
+
+    entries = []
+    for label, analysis, cost in zip(labels, analyses, costs):
+        entries.append(
+            EnergyComparisonEntry(
+                model=label,
+                am_structure=analysis.structure_label,
+                arrays=cost.arrays,
+                cycles=cost.cycles,
+                energy_pj=cost.energy_pj,
+                normalized_energy=100.0 * cost.energy_pj / max_energy,
+                normalized_cycles=100.0 * cost.cycles / max_cycles,
+                normalized_arrays=100.0 * cost.arrays / max_arrays,
+            )
+        )
+    return entries

@@ -1,0 +1,162 @@
+"""Single in-memory-computing array model.
+
+An IMC array is a grid of ``rows x cols`` single-bit cells (SRAM 8T/10T,
+ReRAM, FeFET, ...).  Programming writes a binary matrix into a rectangular
+region of the grid; an MVM activation drives a binary (or multi-bit) input
+vector onto the rows and reads, per column, the accumulated sum of
+``input[i] * cell[i, j]`` -- the ideal, noise-free digital abstraction of
+the analog column current plus ADC.
+
+The array also keeps simple usage counters (programmed rows/columns, number
+of MVM activations) that the analysis layer aggregates into the utilization
+and cycle numbers of Table II.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class IMCArrayConfig:
+    """Geometry of a single IMC array.
+
+    Attributes
+    ----------
+    rows:
+        Number of word lines (input dimension of one MVM).  The paper's
+        hardware target is 128.
+    cols:
+        Number of bit lines (output dimension of one MVM).  128 in the
+        paper.
+    """
+
+    rows: int = 128
+    cols: int = 128
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.cols <= 0:
+            raise ValueError("rows and cols must be positive")
+
+    @property
+    def cells(self) -> int:
+        """Total number of 1-bit cells."""
+        return self.rows * self.cols
+
+    @property
+    def label(self) -> str:
+        """Human-readable ``RxC`` label (e.g. ``"128x128"``)."""
+        return f"{self.rows}x{self.cols}"
+
+
+class IMCArray:
+    """A single programmable IMC array with MVM readout.
+
+    Parameters
+    ----------
+    config:
+        Array geometry.
+    name:
+        Optional identifier used in simulator traces.
+    """
+
+    def __init__(self, config: IMCArrayConfig, name: Optional[str] = None) -> None:
+        self.config = config
+        self.name = name or "array"
+        self.cells = np.zeros((config.rows, config.cols), dtype=np.int8)
+        self._programmed = np.zeros((config.rows, config.cols), dtype=bool)
+        self.activations = 0
+        self.writes = 0
+
+    # ---------------------------------------------------------- programming
+    def program(
+        self, matrix: np.ndarray, row_offset: int = 0, col_offset: int = 0
+    ) -> None:
+        """Write a binary sub-matrix into the array at the given offset.
+
+        Raises if the matrix does not fit or contains values outside
+        ``{0, 1}``.
+        """
+        arr = np.asarray(matrix)
+        if arr.ndim != 2:
+            raise ValueError("matrix must be 2-D")
+        if not np.all(np.isin(arr, (0, 1))):
+            raise ValueError("IMC cells store binary values; matrix must be in {0, 1}")
+        rows, cols = arr.shape
+        if row_offset < 0 or col_offset < 0:
+            raise ValueError("offsets must be non-negative")
+        if row_offset + rows > self.config.rows or col_offset + cols > self.config.cols:
+            raise ValueError(
+                f"matrix of shape {arr.shape} does not fit at offset "
+                f"({row_offset}, {col_offset}) in a {self.config.label} array"
+            )
+        self.cells[row_offset : row_offset + rows, col_offset : col_offset + cols] = (
+            arr.astype(np.int8)
+        )
+        self._programmed[
+            row_offset : row_offset + rows, col_offset : col_offset + cols
+        ] = True
+        self.writes += rows * cols
+
+    # -------------------------------------------------------------- compute
+    def mvm(self, inputs: np.ndarray) -> np.ndarray:
+        """One MVM activation: column-wise accumulate of ``inputs @ cells``.
+
+        ``inputs`` must have length ``rows``; entries may be binary (word
+        line on/off) or real-valued (multi-bit DAC drive, used for the
+        encoding module whose inputs are normalized features).  Returns a
+        float vector of length ``cols``.
+        """
+        vec = np.asarray(inputs, dtype=np.float64)
+        if vec.ndim != 1 or vec.shape[0] != self.config.rows:
+            raise ValueError(
+                f"inputs must be a vector of length {self.config.rows}, "
+                f"got shape {vec.shape}"
+            )
+        self.activations += 1
+        return vec @ self.cells.astype(np.float64)
+
+    def mvm_batch(self, inputs: np.ndarray) -> np.ndarray:
+        """Batch of MVM activations (one activation counted per row)."""
+        arr = np.asarray(inputs, dtype=np.float64)
+        if arr.ndim != 2 or arr.shape[1] != self.config.rows:
+            raise ValueError(
+                f"inputs must have shape (n, {self.config.rows}), got {arr.shape}"
+            )
+        self.activations += arr.shape[0]
+        return arr @ self.cells.astype(np.float64)
+
+    # ------------------------------------------------------------- counters
+    @property
+    def used_rows(self) -> int:
+        """Number of rows containing at least one programmed cell."""
+        return int(self._programmed.any(axis=1).sum())
+
+    @property
+    def used_cols(self) -> int:
+        """Number of columns containing at least one programmed cell."""
+        return int(self._programmed.any(axis=0).sum())
+
+    @property
+    def column_utilization(self) -> float:
+        """Fraction of columns in use -- the paper's "AM utilization"."""
+        return self.used_cols / self.config.cols
+
+    @property
+    def cell_utilization(self) -> float:
+        """Fraction of cells programmed (a stricter utilization measure)."""
+        return float(self._programmed.mean())
+
+    def reset_counters(self) -> None:
+        """Zero the activation/write counters without erasing the cells."""
+        self.activations = 0
+        self.writes = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"IMCArray({self.name!r}, {self.config.label}, "
+            f"used={self.used_rows}x{self.used_cols})"
+        )

@@ -1,0 +1,153 @@
+"""SRAM-IMC energy and latency cost model.
+
+The paper takes read/write energies and cycle times of an SRAM-based IMC
+macro from NeuroSim simulations (its Refs. [19], [20]).  NeuroSim itself is
+not shippable here, so this module provides a parameterized analytical cost
+model with defaults in the range published for 128x128 SRAM compute-in-
+memory macros.  Everything the paper actually reports (Fig. 7, the Table II
+"improvement" factors) is *normalized*, so the absolute constants cancel;
+they are nevertheless exposed so users can calibrate the model against their
+own technology data.
+
+Accounting rules, matching Sec. IV-F of the paper:
+
+* Each MVM activation of one array costs ``mvm_energy_pj`` and one cycle of
+  ``cycle_latency_ns``.
+* Arrays holding a structure cost ``write_energy_pj_per_cell`` once, at
+  programming time (not part of inference energy).
+* Partitioning schemes use fewer arrays but proportionally more cycles, so
+  their inference energy is constant across partition counts -- exactly the
+  observation Fig. 7 makes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.imc.array import IMCArrayConfig
+from repro.imc.mapping import MappingAnalysis
+
+
+@dataclass(frozen=True)
+class IMCCostParameters:
+    """Technology constants of one IMC array.
+
+    The defaults describe a 128x128 SRAM compute-in-memory macro in a
+    28--65nm class process; they are order-of-magnitude figures intended for
+    *relative* comparisons (the paper's normalized plots), not sign-off.
+
+    Attributes
+    ----------
+    mvm_energy_pj:
+        Energy of one full-array MVM activation (row drivers + bit-line
+        discharge + ADC), in picojoules.
+    cycle_latency_ns:
+        Latency of one MVM activation, in nanoseconds.
+    write_energy_pj_per_cell:
+        Energy to program one cell, in picojoules.
+    leakage_power_uw:
+        Static leakage power of one array, in microwatts (used for
+        energy-per-inference at a given throughput if desired).
+    reference_array:
+        Geometry the constants were calibrated for.  Costs scale linearly
+        with cell count when a different geometry is analyzed.
+    """
+
+    mvm_energy_pj: float = 18.0
+    cycle_latency_ns: float = 5.2
+    write_energy_pj_per_cell: float = 0.35
+    leakage_power_uw: float = 1.1
+    reference_array: IMCArrayConfig = IMCArrayConfig(128, 128)
+
+    def __post_init__(self) -> None:
+        for name in (
+            "mvm_energy_pj",
+            "cycle_latency_ns",
+            "write_energy_pj_per_cell",
+            "leakage_power_uw",
+        ):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+    def scaled_mvm_energy(self, array: IMCArrayConfig) -> float:
+        """MVM energy scaled linearly with the array's cell count."""
+        return self.mvm_energy_pj * array.cells / self.reference_array.cells
+
+    def scaled_latency(self, array: IMCArrayConfig) -> float:
+        """Cycle latency scaled with the array's row count (bit-line depth)."""
+        return self.cycle_latency_ns * array.rows / self.reference_array.rows
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Per-inference cost of one mapped structure."""
+
+    label: str
+    cycles: int
+    arrays: int
+    energy_pj: float
+    latency_ns: float
+    programming_energy_pj: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "label": self.label,
+            "cycles": self.cycles,
+            "arrays": self.arrays,
+            "energy_pj": self.energy_pj,
+            "latency_ns": self.latency_ns,
+            "programming_energy_pj": self.programming_energy_pj,
+        }
+
+
+class CostModel:
+    """Maps cycle/array counts to energy and latency."""
+
+    def __init__(
+        self,
+        parameters: Optional[IMCCostParameters] = None,
+        array: Optional[IMCArrayConfig] = None,
+    ) -> None:
+        self.parameters = parameters or IMCCostParameters()
+        self.array = array or self.parameters.reference_array
+
+    def inference_cost(self, analysis: MappingAnalysis) -> EnergyBreakdown:
+        """Energy/latency of one inference pass over a mapped structure.
+
+        Every cycle is one array activation; activations are serialized on a
+        single macro, so latency is ``cycles * cycle_latency``.  Programming
+        energy covers writing all mapped cells once.
+        """
+        mvm_energy = self.parameters.scaled_mvm_energy(self.array)
+        latency = self.parameters.scaled_latency(self.array)
+        energy = analysis.cycles * mvm_energy
+        programming = (
+            analysis.arrays
+            * self.array.cells
+            * self.parameters.write_energy_pj_per_cell
+        )
+        return EnergyBreakdown(
+            label=analysis.label,
+            cycles=analysis.cycles,
+            arrays=analysis.arrays,
+            energy_pj=energy,
+            latency_ns=analysis.cycles * latency,
+            programming_energy_pj=programming,
+        )
+
+    def total_inference_cost(
+        self, em: MappingAnalysis, am: MappingAnalysis, label: str = "total"
+    ) -> EnergyBreakdown:
+        """Combined encoding + associative-search cost of one inference."""
+        em_cost = self.inference_cost(em)
+        am_cost = self.inference_cost(am)
+        return EnergyBreakdown(
+            label=label,
+            cycles=em_cost.cycles + am_cost.cycles,
+            arrays=em_cost.arrays + am_cost.arrays,
+            energy_pj=em_cost.energy_pj + am_cost.energy_pj,
+            latency_ns=em_cost.latency_ns + am_cost.latency_ns,
+            programming_energy_pj=em_cost.programming_energy_pj
+            + am_cost.programming_energy_pj,
+        )

@@ -1,0 +1,325 @@
+"""Mapping of HDC structures onto fixed-size IMC arrays.
+
+Two layers live here:
+
+1. **Analytical mapping** (:class:`AMStructure`, :func:`analyze_am_mapping`,
+   :func:`analyze_em_mapping`): closed-form cycle / array / utilization
+   accounting for the three mapping schemes of Fig. 1 --
+
+   * *basic*: one class vector per class, full dimensionality ``D`` -- many
+     row tiles, almost all columns idle;
+   * *partitioning* [9]: the ``D``-dimensional class vectors are cut into
+     ``P`` segments placed in additional columns of fewer arrays -- array
+     count drops but the cycle count does not, because segments belonging to
+     different partitions need different row inputs and therefore separate
+     activations;
+   * *MEMHD*: dimensionality equals the array's rows and the multi-centroid
+     AM occupies every column, so associative search is a single activation
+     of a single array.
+
+   These formulas generate Table II.
+
+2. **Physical tiling** (:func:`tile_matrix`, :class:`TiledMatrix`): splits an
+   arbitrary binary matrix into array-sized tiles backed by real
+   :class:`repro.imc.array.IMCArray` instances, used by the functional
+   simulator to run bit-exact in-memory inference.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.imc.array import IMCArray, IMCArrayConfig
+
+
+# --------------------------------------------------------------------------
+# Analytical mapping (Table II)
+# --------------------------------------------------------------------------
+@dataclass(frozen=True)
+class AMStructure:
+    """Logical structure of an associative memory to be mapped.
+
+    Attributes
+    ----------
+    dimension:
+        Row dimension of the stored structure *per partition* (``D / P``).
+    num_vectors:
+        Number of stored columns (class vectors x partitions, or MEMHD's
+        ``C``).
+    partitions:
+        Number of partitions ``P`` the original hypervector was split into
+        (1 for basic and MEMHD mappings).
+    label:
+        Mapping-scheme label used in reports ("Basic", "Partitioning (P=5)",
+        "MEMHD", ...).
+    """
+
+    dimension: int
+    num_vectors: int
+    partitions: int = 1
+    label: str = "AM"
+
+    def __post_init__(self) -> None:
+        if self.dimension <= 0 or self.num_vectors <= 0:
+            raise ValueError("dimension and num_vectors must be positive")
+        if self.partitions < 1:
+            raise ValueError("partitions must be >= 1")
+
+    @property
+    def original_dimension(self) -> int:
+        """Dimensionality of the unpartitioned hypervector (``D``)."""
+        return self.dimension * self.partitions
+
+    @property
+    def structure_label(self) -> str:
+        """The paper's ``<rows>x<cols>`` AM-structure label (e.g. 2048x50)."""
+        return f"{self.dimension}x{self.num_vectors}"
+
+
+def basic_am_structure(dimension: int, num_classes: int) -> AMStructure:
+    """Basic mapping: one ``D``-dimensional class vector per class."""
+    return AMStructure(dimension, num_classes, partitions=1, label="Basic")
+
+
+def partitioned_am_structure(
+    dimension: int, num_classes: int, partitions: int
+) -> AMStructure:
+    """Partitioned mapping [9]: ``P`` segments of ``D/P`` rows, ``k*P`` columns."""
+    if partitions < 1:
+        raise ValueError("partitions must be >= 1")
+    if dimension % partitions != 0:
+        raise ValueError(
+            f"dimension ({dimension}) must be divisible by partitions ({partitions})"
+        )
+    return AMStructure(
+        dimension // partitions,
+        num_classes * partitions,
+        partitions=partitions,
+        label=f"Partitioning (P={partitions})",
+    )
+
+
+def memhd_am_structure(dimension: int, columns: int) -> AMStructure:
+    """MEMHD mapping: ``D`` rows (array rows) and ``C`` columns, fully used."""
+    return AMStructure(dimension, columns, partitions=1, label="MEMHD")
+
+
+@dataclass(frozen=True)
+class MappingAnalysis:
+    """Cycle / array / utilization accounting of one mapped structure.
+
+    ``cycles`` is the number of MVM activations needed to complete one
+    associative search (or one encoding) when the structure is processed on
+    a *single* physical array; ``arrays`` is the number of array instances
+    needed to hold the whole structure at once; ``utilization`` is the
+    fraction of columns of the occupied arrays that hold mapped data (the
+    paper's "AM utilization").
+    """
+
+    label: str
+    structure_label: str
+    row_tiles: int
+    col_tiles: int
+    cycles: int
+    arrays: int
+    utilization: float
+
+    def as_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "structure": self.structure_label,
+            "row_tiles": self.row_tiles,
+            "col_tiles": self.col_tiles,
+            "cycles": self.cycles,
+            "arrays": self.arrays,
+            "utilization": self.utilization,
+        }
+
+
+def analyze_am_mapping(
+    structure: AMStructure, array: IMCArrayConfig
+) -> MappingAnalysis:
+    """Analytical Table II accounting for an associative memory structure.
+
+    * ``arrays = ceil(D/P / rows) * ceil(cols / array_cols)`` -- tiles needed
+      to store the structure.
+    * ``cycles = ceil(D / rows) * ceil(cols / array_cols)`` where ``D`` is
+      the *original* (unpartitioned) dimensionality -- partitioning does not
+      reduce cycles because each partition requires its own row input.
+    * ``utilization = cols / (ceil(cols / array_cols) * array_cols)``.
+    """
+    row_tiles = math.ceil(structure.dimension / array.rows)
+    col_tiles = math.ceil(structure.num_vectors / array.cols)
+    arrays = row_tiles * col_tiles
+    cycles = math.ceil(structure.original_dimension / array.rows) * col_tiles
+    utilization = structure.num_vectors / (col_tiles * array.cols)
+    return MappingAnalysis(
+        label=structure.label,
+        structure_label=structure.structure_label,
+        row_tiles=row_tiles,
+        col_tiles=col_tiles,
+        cycles=cycles,
+        arrays=arrays,
+        utilization=utilization,
+    )
+
+
+def analyze_em_mapping(
+    num_features: int,
+    dimension: int,
+    array: IMCArrayConfig,
+    label: str = "EM",
+) -> MappingAnalysis:
+    """Analytical accounting for the encoding module's ``f x D`` projection.
+
+    Every tile holds a ``rows x cols`` slice of the projection matrix and
+    needs one activation per inference, so cycles equal arrays.
+    """
+    if num_features <= 0 or dimension <= 0:
+        raise ValueError("num_features and dimension must be positive")
+    row_tiles = math.ceil(num_features / array.rows)
+    col_tiles = math.ceil(dimension / array.cols)
+    arrays = row_tiles * col_tiles
+    utilization = dimension / (col_tiles * array.cols)
+    return MappingAnalysis(
+        label=label,
+        structure_label=f"{num_features}x{dimension}",
+        row_tiles=row_tiles,
+        col_tiles=col_tiles,
+        cycles=arrays,
+        arrays=arrays,
+        utilization=utilization,
+    )
+
+
+# --------------------------------------------------------------------------
+# Physical tiling (functional simulation)
+# --------------------------------------------------------------------------
+@dataclass
+class _Tile:
+    """One physical tile: an array plus the matrix region it holds."""
+
+    array: IMCArray
+    row_start: int
+    row_stop: int
+    col_start: int
+    col_stop: int
+
+
+@dataclass
+class TiledMatrix:
+    """A binary matrix physically distributed over IMC arrays.
+
+    Created by :func:`tile_matrix`.  :meth:`mvm` reproduces the exact
+    integer result of ``inputs @ matrix`` by accumulating per-tile partial
+    sums, while counting one cycle per tile activation (the quantity the
+    analytical model calls "computation cycles").
+    """
+
+    shape: tuple
+    array_config: IMCArrayConfig
+    tiles: List[_Tile] = field(default_factory=list)
+    cycles_executed: int = 0
+
+    @property
+    def num_arrays(self) -> int:
+        return len(self.tiles)
+
+    @property
+    def cycles_per_mvm(self) -> int:
+        """Tile activations needed for one full matrix-vector product."""
+        return len(self.tiles)
+
+    def mvm(self, inputs: np.ndarray) -> np.ndarray:
+        """Full-matrix MVM via tile-wise activations and digital accumulation."""
+        vec = np.asarray(inputs, dtype=np.float64)
+        if vec.ndim != 1 or vec.shape[0] != self.shape[0]:
+            raise ValueError(
+                f"inputs must be a vector of length {self.shape[0]}, got {vec.shape}"
+            )
+        result = np.zeros(self.shape[1], dtype=np.float64)
+        for tile in self.tiles:
+            segment = np.zeros(self.array_config.rows, dtype=np.float64)
+            segment[: tile.row_stop - tile.row_start] = vec[tile.row_start : tile.row_stop]
+            partial = tile.array.mvm(segment)
+            result[tile.col_start : tile.col_stop] += partial[
+                : tile.col_stop - tile.col_start
+            ]
+            self.cycles_executed += 1
+        return result
+
+    def mvm_batch(self, inputs: np.ndarray) -> np.ndarray:
+        """Batched MVM (counts ``n * cycles_per_mvm`` cycles)."""
+        arr = np.asarray(inputs, dtype=np.float64)
+        if arr.ndim != 2 or arr.shape[1] != self.shape[0]:
+            raise ValueError(
+                f"inputs must have shape (n, {self.shape[0]}), got {arr.shape}"
+            )
+        result = np.zeros((arr.shape[0], self.shape[1]), dtype=np.float64)
+        for tile in self.tiles:
+            segment = np.zeros((arr.shape[0], self.array_config.rows), dtype=np.float64)
+            segment[:, : tile.row_stop - tile.row_start] = arr[
+                :, tile.row_start : tile.row_stop
+            ]
+            partial = tile.array.mvm_batch(segment)
+            result[:, tile.col_start : tile.col_stop] += partial[
+                :, : tile.col_stop - tile.col_start
+            ]
+            self.cycles_executed += arr.shape[0]
+        return result
+
+    def column_utilization(self) -> float:
+        """Mapped-column fraction over the occupied arrays (paper metric)."""
+        col_tiles = math.ceil(self.shape[1] / self.array_config.cols)
+        return self.shape[1] / (col_tiles * self.array_config.cols)
+
+    def stored_matrix(self) -> np.ndarray:
+        """Reassemble the stored binary matrix from the tiles (for checks)."""
+        matrix = np.zeros(self.shape, dtype=np.int8)
+        for tile in self.tiles:
+            rows = tile.row_stop - tile.row_start
+            cols = tile.col_stop - tile.col_start
+            matrix[tile.row_start : tile.row_stop, tile.col_start : tile.col_stop] = (
+                tile.array.cells[:rows, :cols]
+            )
+        return matrix
+
+
+def tile_matrix(
+    matrix: np.ndarray,
+    array_config: IMCArrayConfig,
+    name: str = "matrix",
+) -> TiledMatrix:
+    """Distribute a binary matrix over as many IMC arrays as needed.
+
+    The matrix is cut into ``rows x cols`` blocks in row-major tile order;
+    each block is programmed into a fresh :class:`IMCArray`.
+    """
+    arr = np.asarray(matrix)
+    if arr.ndim != 2:
+        raise ValueError("matrix must be 2-D")
+    if not np.all(np.isin(arr, (0, 1))):
+        raise ValueError("matrix must be binary ({0, 1}) to map onto IMC cells")
+    tiled = TiledMatrix(shape=arr.shape, array_config=array_config)
+    index = 0
+    for row_start in range(0, arr.shape[0], array_config.rows):
+        row_stop = min(row_start + array_config.rows, arr.shape[0])
+        for col_start in range(0, arr.shape[1], array_config.cols):
+            col_stop = min(col_start + array_config.cols, arr.shape[1])
+            array = IMCArray(array_config, name=f"{name}[{index}]")
+            array.program(arr[row_start:row_stop, col_start:col_stop])
+            tiled.tiles.append(
+                _Tile(
+                    array=array,
+                    row_start=row_start,
+                    row_stop=row_stop,
+                    col_start=col_start,
+                    col_stop=col_stop,
+                )
+            )
+            index += 1
+    return tiled

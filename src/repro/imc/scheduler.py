@@ -1,0 +1,178 @@
+"""Multi-array accelerator scheduling.
+
+Table II counts cycles under the assumption that a *single* physical array
+executes every tile activation sequentially, and arrays under the assumption
+that the whole structure is resident at once.  A real accelerator sits
+between these extremes: it owns a pool of ``num_arrays`` physical macros and
+must schedule the encoding-module and associative-memory tiles of each
+inference onto them.
+
+:class:`AcceleratorScheduler` models that middle ground with a simple,
+deterministic list schedule:
+
+* every mapped tile is one unit of work taking one array-cycle;
+* tiles of the encoding module must all complete before the associative
+  search tiles start (the query hypervector is their input);
+* within a stage, tiles are independent and are greedily assigned to the
+  least-loaded array (LPT list scheduling, optimal here because all tiles
+  take one cycle);
+* batches pipeline: a new inference's EM tiles can start as soon as arrays
+  free up.
+
+The resulting latency / throughput numbers let users answer the questions
+the paper's fixed single-array accounting cannot: *how many macros do I need
+to hit a target throughput?* and *what does MEMHD's single-tile AM buy me
+once the encoder is the bottleneck?*
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.imc.array import IMCArrayConfig
+from repro.imc.cost_model import CostModel
+from repro.imc.mapping import MappingAnalysis, analyze_am_mapping, analyze_em_mapping
+
+
+@dataclass(frozen=True)
+class ScheduleReport:
+    """Outcome of scheduling one model's inference onto an array pool.
+
+    Attributes
+    ----------
+    num_arrays:
+        Physical arrays in the pool.
+    em_tiles / am_tiles:
+        Tile counts of the encoding module and associative memory.
+    latency_cycles:
+        Array-cycles from the start of one inference to its prediction
+        (EM stage followed by AM stage, each list-scheduled on the pool).
+    throughput_per_kcycle:
+        Steady-state inferences completed per 1000 array-cycles when
+        back-to-back inferences are pipelined through the pool.
+    bottleneck:
+        ``"encoding"`` or ``"associative-search"`` -- the stage that limits
+        steady-state throughput.
+    energy_pj_per_inference:
+        Total MVM energy of one inference under the supplied cost model.
+    """
+
+    num_arrays: int
+    em_tiles: int
+    am_tiles: int
+    latency_cycles: int
+    throughput_per_kcycle: float
+    bottleneck: str
+    energy_pj_per_inference: float
+
+    def as_dict(self) -> dict:
+        return {
+            "num_arrays": self.num_arrays,
+            "em_tiles": self.em_tiles,
+            "am_tiles": self.am_tiles,
+            "latency_cycles": self.latency_cycles,
+            "throughput_per_kcycle": self.throughput_per_kcycle,
+            "bottleneck": self.bottleneck,
+            "energy_pj_per_inference": self.energy_pj_per_inference,
+        }
+
+
+class AcceleratorScheduler:
+    """Schedules a model's EM + AM tiles onto a pool of IMC arrays.
+
+    Parameters
+    ----------
+    num_arrays:
+        Number of physical arrays available.
+    array_config:
+        Geometry of each array (default 128x128).
+    cost_model:
+        Optional cost model used for the per-inference energy figure.
+    """
+
+    def __init__(
+        self,
+        num_arrays: int,
+        array_config: Optional[IMCArrayConfig] = None,
+        cost_model: Optional[CostModel] = None,
+    ) -> None:
+        if num_arrays < 1:
+            raise ValueError("num_arrays must be >= 1")
+        self.num_arrays = int(num_arrays)
+        self.array_config = array_config or IMCArrayConfig(128, 128)
+        self.cost_model = cost_model or CostModel(array=self.array_config)
+
+    # ------------------------------------------------------------------ API
+    def stage_cycles(self, tiles: int) -> int:
+        """Cycles to run ``tiles`` independent one-cycle tiles on the pool."""
+        if tiles < 0:
+            raise ValueError("tiles must be non-negative")
+        if tiles == 0:
+            return 0
+        return math.ceil(tiles / self.num_arrays)
+
+    def schedule(
+        self, em: MappingAnalysis, am: MappingAnalysis
+    ) -> ScheduleReport:
+        """Schedule one inference described by its EM and AM mappings."""
+        em_stage = self.stage_cycles(em.cycles)
+        am_stage = self.stage_cycles(am.cycles)
+        latency = em_stage + am_stage
+        # Steady state: consecutive inferences are limited by the slower
+        # stage (the pool alternates between stages of successive queries).
+        bottleneck_cycles = max(em_stage, am_stage, 1)
+        throughput = 1000.0 / bottleneck_cycles
+        bottleneck = "encoding" if em_stage >= am_stage else "associative-search"
+        energy = self.cost_model.total_inference_cost(em, am).energy_pj
+        return ScheduleReport(
+            num_arrays=self.num_arrays,
+            em_tiles=em.cycles,
+            am_tiles=am.cycles,
+            latency_cycles=latency,
+            throughput_per_kcycle=throughput,
+            bottleneck=bottleneck,
+            energy_pj_per_inference=energy,
+        )
+
+    def schedule_model(
+        self,
+        num_features: int,
+        dimension: int,
+        am_structure,
+    ) -> ScheduleReport:
+        """Convenience wrapper: analyze the EM and AM mappings, then schedule.
+
+        ``am_structure`` is a :class:`repro.imc.mapping.AMStructure` (use the
+        ``basic_am_structure`` / ``partitioned_am_structure`` /
+        ``memhd_am_structure`` helpers).
+        """
+        em = analyze_em_mapping(num_features, dimension, self.array_config)
+        am = analyze_am_mapping(am_structure, self.array_config)
+        return self.schedule(em, am)
+
+    def arrays_needed_for_latency(
+        self, em: MappingAnalysis, am: MappingAnalysis, target_cycles: int
+    ) -> int:
+        """Smallest pool size whose scheduled latency meets ``target_cycles``.
+
+        Returns the minimum number of arrays, or raises ``ValueError`` when
+        even a pool holding every tile at once (one array per tile) cannot
+        meet the target (the two-stage dependency imposes a floor of two
+        cycles whenever both stages are non-empty).
+        """
+        if target_cycles < 1:
+            raise ValueError("target_cycles must be >= 1")
+        floor = (1 if em.cycles else 0) + (1 if am.cycles else 0)
+        if target_cycles < floor:
+            raise ValueError(
+                f"target of {target_cycles} cycles is below the structural "
+                f"minimum of {floor} cycles (one per dependent stage)"
+            )
+        for pool in range(1, max(em.cycles, am.cycles, 1) + 1):
+            scheduler = AcceleratorScheduler(pool, self.array_config, self.cost_model)
+            report = scheduler.schedule(em, am)
+            if report.latency_cycles <= target_cycles:
+                return pool
+        return max(em.cycles, am.cycles, 1)

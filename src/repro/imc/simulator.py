@@ -1,0 +1,184 @@
+"""Functional (bit-exact) in-memory inference simulator.
+
+:class:`InMemoryInference` takes a trained :class:`repro.core.model.MEMHDModel`
+and maps both of its binary artifacts into IMC arrays (Sec. III-D of the
+paper):
+
+* the ``f x D`` binary projection matrix of the encoding module, and
+* the ``D x C`` binary multi-centroid associative memory (the AM is stored
+  transposed, one class vector per array column, so an associative search
+  is a single MVM).
+
+Inference then runs tile-by-tile exactly as the hardware would:
+
+1. the raw feature vector drives the EM tiles; the digital periphery
+   rescales the binary-cell partial sums into the bipolar projection
+   (``2 * (F . B) - sum(F)``) and thresholds at zero to obtain the binary
+   query hypervector;
+2. the query drives the AM tiles; column sums are accumulated across row
+   tiles and the argmax column's class is the prediction.
+
+In the absence of injected noise the simulator's predictions are **bit
+identical** to ``MEMHDModel.predict`` -- an invariant enforced by the
+integration and property tests.  A :class:`repro.imc.noise.NoiseModel` can
+corrupt the stored cells and the analog readout to study robustness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.core.model import MEMHDModel
+from repro.hdc.hypervector import _as_generator
+from repro.imc.array import IMCArrayConfig
+from repro.imc.mapping import TiledMatrix, tile_matrix
+from repro.imc.noise import NoiseModel
+
+
+@dataclass(frozen=True)
+class SimulatedInferenceStats:
+    """Hardware accounting of the mapped model.
+
+    ``*_per_inference`` cycle counts assume a single physical array executes
+    every tile activation sequentially, which is the "computation cycles"
+    definition used by Table II.
+    """
+
+    array_label: str
+    em_arrays: int
+    am_arrays: int
+    em_cycles_per_inference: int
+    am_cycles_per_inference: int
+    am_column_utilization: float
+
+    @property
+    def total_arrays(self) -> int:
+        return self.em_arrays + self.am_arrays
+
+    @property
+    def total_cycles_per_inference(self) -> int:
+        return self.em_cycles_per_inference + self.am_cycles_per_inference
+
+    def as_dict(self) -> dict:
+        return {
+            "array": self.array_label,
+            "em_arrays": self.em_arrays,
+            "am_arrays": self.am_arrays,
+            "total_arrays": self.total_arrays,
+            "em_cycles": self.em_cycles_per_inference,
+            "am_cycles": self.am_cycles_per_inference,
+            "total_cycles": self.total_cycles_per_inference,
+            "am_utilization": self.am_column_utilization,
+        }
+
+
+class InMemoryInference:
+    """Maps a trained MEMHD model into IMC arrays and runs inference there.
+
+    Parameters
+    ----------
+    model:
+        A fitted :class:`MEMHDModel`.
+    array_config:
+        Geometry of the IMC arrays to map onto (the paper uses 128x128).
+    noise:
+        Optional :class:`NoiseModel`; storage faults are applied once at
+        mapping time, read noise is applied to every associative-search
+        column sum.
+    rng:
+        Seed or generator used for the noise injection.
+    """
+
+    def __init__(
+        self,
+        model: MEMHDModel,
+        array_config: Optional[IMCArrayConfig] = None,
+        noise: Optional[NoiseModel] = None,
+        rng: Optional[Union[int, np.random.Generator]] = None,
+    ) -> None:
+        self.model = model
+        self.array_config = array_config or IMCArrayConfig(128, 128)
+        self.noise = noise or NoiseModel()
+        self._rng = _as_generator(rng)
+
+        am = model.associative_memory  # raises if the model is not fitted
+
+        projection = model.projection_matrix_binary()  # (f, D) in {0, 1}
+        am_matrix = am.binary_memory.T.astype(np.int8)  # (D, C) in {0, 1}
+        if not self.noise.is_ideal:
+            projection = self.noise.corrupt_memory(projection, self._rng)
+            am_matrix = self.noise.corrupt_memory(am_matrix, self._rng)
+
+        self.em_tiles: TiledMatrix = tile_matrix(
+            projection, self.array_config, name="em"
+        )
+        self.am_tiles: TiledMatrix = tile_matrix(
+            am_matrix, self.array_config, name="am"
+        )
+        self.column_classes = am.column_classes.copy()
+
+    # ------------------------------------------------------------------ API
+    def encode(self, features: np.ndarray) -> np.ndarray:
+        """Run the encoding module on the mapped arrays.
+
+        Returns the binary ``{0, 1}`` query hypervectors, identical to
+        ``model.encode_binary`` when no noise is injected.
+        """
+        arr = np.asarray(features, dtype=np.float64)
+        squeeze = arr.ndim == 1
+        if squeeze:
+            arr = arr[None, :]
+        if arr.shape[1] != self.model.num_features:
+            raise ValueError(
+                f"expected {self.model.num_features} features, got {arr.shape[1]}"
+            )
+        # Binary cells hold B in {0, 1}; the stored bipolar projection is
+        # 2B - 1, so the periphery computes 2 * (F . B) - sum(F).
+        cell_sums = self.em_tiles.mvm_batch(arr)
+        bipolar_projection = 2.0 * cell_sums - arr.sum(axis=1, keepdims=True)
+        binary = (bipolar_projection >= 0.0).astype(np.int8)
+        return binary[0] if squeeze else binary
+
+    def associative_search(self, queries: np.ndarray) -> np.ndarray:
+        """Column scores of binary queries against the mapped AM."""
+        arr = np.asarray(queries, dtype=np.float64)
+        squeeze = arr.ndim == 1
+        if squeeze:
+            arr = arr[None, :]
+        scores = self.am_tiles.mvm_batch(arr)
+        if self.noise.read_noise_sigma > 0:
+            scores = self.noise.corrupt_readout(scores, self._rng)
+        return scores[0] if squeeze else scores
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """End-to-end in-memory inference: encode, search, argmax."""
+        queries = self.encode(features)
+        if queries.ndim == 1:
+            queries = queries[None, :]
+        scores = np.atleast_2d(self.associative_search(queries))
+        winning_columns = np.argmax(scores, axis=1)
+        return self.column_classes[winning_columns]
+
+    def stats(self) -> SimulatedInferenceStats:
+        """Mapping statistics consistent with the analytical Table II model."""
+        return SimulatedInferenceStats(
+            array_label=self.array_config.label,
+            em_arrays=self.em_tiles.num_arrays,
+            am_arrays=self.am_tiles.num_arrays,
+            em_cycles_per_inference=self.em_tiles.cycles_per_mvm,
+            am_cycles_per_inference=self.am_tiles.cycles_per_mvm,
+            am_column_utilization=self.am_tiles.column_utilization(),
+        )
+
+    def matches_software_model(self, features: np.ndarray) -> bool:
+        """Check bit-exact agreement with the software model (noise-free only)."""
+        if not self.noise.is_ideal:
+            raise ValueError(
+                "matches_software_model is only meaningful without injected noise"
+            )
+        return bool(
+            np.array_equal(self.predict(features), self.model.predict(features))
+        )

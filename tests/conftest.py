@@ -1,0 +1,93 @@
+"""Shared fixtures for the test suite.
+
+All fixtures are deliberately small (tens of features, a few hundred
+samples) so the whole suite runs in well under a minute while still
+exercising every code path, including multi-tile IMC mappings and the
+multi-round cluster-allocation loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import MEMHDConfig
+from repro.core.model import MEMHDModel
+from repro.data.synthetic import SyntheticSpec, make_synthetic_dataset
+
+
+@pytest.fixture(scope="session")
+def rng():
+    """Session-scoped deterministic generator for ad-hoc draws."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """A small 4-class multi-modal dataset (fast, non-trivial)."""
+    spec = SyntheticSpec(
+        num_classes=4,
+        num_features=24,
+        train_per_class=60,
+        test_per_class=20,
+        modes_per_class=3,
+        latent_dim=8,
+        class_separation=3.0,
+        noise_scale=0.3,
+    )
+    return make_synthetic_dataset("tiny", spec, rng=7)
+
+
+@pytest.fixture(scope="session")
+def tiny_hard_dataset():
+    """A harder 6-class dataset used by the comparison tests."""
+    spec = SyntheticSpec(
+        num_classes=6,
+        num_features=32,
+        train_per_class=80,
+        test_per_class=25,
+        modes_per_class=4,
+        latent_dim=10,
+        class_separation=2.5,
+        noise_scale=0.45,
+    )
+    return make_synthetic_dataset("tiny-hard", spec, rng=11)
+
+
+@pytest.fixture(scope="session")
+def memhd_config():
+    """A small MEMHD configuration matched to the tiny dataset."""
+    return MEMHDConfig(
+        dimension=64,
+        columns=32,
+        cluster_ratio=0.75,
+        epochs=8,
+        learning_rate=0.05,
+        seed=3,
+    )
+
+
+@pytest.fixture(scope="session")
+def trained_memhd(tiny_dataset, memhd_config):
+    """A MEMHD model trained once and shared by read-only tests."""
+    model = MEMHDModel(
+        tiny_dataset.num_features,
+        tiny_dataset.num_classes,
+        memhd_config,
+        rng=21,
+    )
+    history = model.fit(tiny_dataset.train_features, tiny_dataset.train_labels)
+    return model, history
+
+
+@pytest.fixture()
+def encoded_training_data(tiny_dataset):
+    """Binary encoded hypervectors of the tiny dataset's training split."""
+    model = MEMHDModel(
+        tiny_dataset.num_features,
+        tiny_dataset.num_classes,
+        MEMHDConfig(dimension=48, columns=16, epochs=0, seed=5),
+        rng=5,
+    )
+    encoded = model.encode_binary(tiny_dataset.train_features)
+    return encoded.astype(np.float64), tiny_dataset.train_labels.copy()

@@ -1,0 +1,158 @@
+"""Unit tests for repro.baselines.basic_hdc."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BasicHDC, BasicHDCConfig
+
+
+@pytest.fixture(scope="module")
+def fitted(tiny_dataset):
+    model = BasicHDC(
+        tiny_dataset.num_features,
+        tiny_dataset.num_classes,
+        BasicHDCConfig(dimension=256, refine_epochs=5, seed=1),
+    )
+    history = model.fit(tiny_dataset.train_features, tiny_dataset.train_labels)
+    return model, history
+
+
+class TestConfig:
+    def test_defaults(self):
+        config = BasicHDCConfig()
+        assert config.dimension == 2048
+        assert config.refine_epochs == 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"dimension": 0},
+            {"refine_epochs": -1},
+            {"learning_rate": 0.0},
+        ],
+    )
+    def test_invalid_config(self, kwargs):
+        with pytest.raises(ValueError):
+            BasicHDCConfig(**kwargs)
+
+
+class TestBasicHDC:
+    def test_name(self):
+        assert BasicHDC(4, 2).name == "BasicHDC"
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            BasicHDC(0, 3)
+        with pytest.raises(ValueError):
+            BasicHDC(3, 0)
+
+    def test_predict_before_fit_raises(self):
+        model = BasicHDC(5, 2, BasicHDCConfig(dimension=32))
+        with pytest.raises(RuntimeError):
+            model.predict(np.zeros((1, 5)))
+
+    def test_history_has_initial_accuracy(self, fitted):
+        _, history = fitted
+        assert history.initial_accuracy is not None
+        assert 0.0 <= history.initial_accuracy <= 1.0
+
+    def test_history_length_matches_refine_epochs(self, fitted):
+        _, history = fitted
+        assert history.epochs == 5
+
+    def test_predictions_are_valid_labels(self, fitted, tiny_dataset):
+        model, _ = fitted
+        predictions = model.predict(tiny_dataset.test_features)
+        assert predictions.shape == (tiny_dataset.num_test,)
+        assert predictions.min() >= 0
+        assert predictions.max() < tiny_dataset.num_classes
+
+    def test_better_than_chance(self, fitted, tiny_dataset):
+        model, _ = fitted
+        acc = model.score(tiny_dataset.test_features, tiny_dataset.test_labels)
+        assert acc > 1.5 / tiny_dataset.num_classes
+
+    def test_single_sample_prediction(self, fitted, tiny_dataset):
+        model, _ = fitted
+        single = model.predict(tiny_dataset.test_features[0])
+        assert single.shape == (1,)
+
+    def test_binary_am_alphabet(self, fitted):
+        model, _ = fitted
+        am = model.associative_memory
+        assert set(np.unique(am)) <= {-1.0, 1.0}
+
+    def test_fp_am_option(self, tiny_dataset):
+        model = BasicHDC(
+            tiny_dataset.num_features,
+            tiny_dataset.num_classes,
+            BasicHDCConfig(dimension=128, binary_am=False, seed=2),
+        )
+        model.fit(tiny_dataset.train_features, tiny_dataset.train_labels)
+        assert not set(np.unique(model.associative_memory)) <= {-1.0, 1.0}
+
+    def test_am_shape(self, fitted, tiny_dataset):
+        model, _ = fitted
+        assert model.associative_memory.shape == (tiny_dataset.num_classes, 256)
+
+    def test_memory_report_matches_table1(self, tiny_dataset):
+        model = BasicHDC(
+            tiny_dataset.num_features,
+            tiny_dataset.num_classes,
+            BasicHDCConfig(dimension=512),
+        )
+        report = model.memory_report()
+        assert report.encoder_bits == tiny_dataset.num_features * 512
+        assert report.am_bits == tiny_dataset.num_classes * 512
+
+    def test_deterministic_given_seed(self, tiny_dataset):
+        def run():
+            model = BasicHDC(
+                tiny_dataset.num_features,
+                tiny_dataset.num_classes,
+                BasicHDCConfig(dimension=128, refine_epochs=2, seed=11),
+            )
+            model.fit(tiny_dataset.train_features, tiny_dataset.train_labels)
+            return model.predict(tiny_dataset.test_features)
+
+        assert np.array_equal(run(), run())
+
+    def test_refinement_does_not_hurt_training_accuracy_much(self, tiny_dataset):
+        plain = BasicHDC(
+            tiny_dataset.num_features,
+            tiny_dataset.num_classes,
+            BasicHDCConfig(dimension=256, refine_epochs=0, seed=3),
+        )
+        refined = BasicHDC(
+            tiny_dataset.num_features,
+            tiny_dataset.num_classes,
+            BasicHDCConfig(dimension=256, refine_epochs=8, seed=3),
+        )
+        plain_hist = plain.fit(tiny_dataset.train_features, tiny_dataset.train_labels)
+        refined_hist = refined.fit(
+            tiny_dataset.train_features, tiny_dataset.train_labels
+        )
+        assert (
+            refined_hist.final_train_accuracy
+            >= plain_hist.final_train_accuracy - 0.05
+        )
+
+    def test_fit_rejects_bad_inputs(self, tiny_dataset):
+        model = BasicHDC(tiny_dataset.num_features, tiny_dataset.num_classes)
+        with pytest.raises(ValueError):
+            model.fit(tiny_dataset.train_features, tiny_dataset.train_labels[:-1])
+        with pytest.raises(ValueError):
+            model.fit(tiny_dataset.train_features[:, :-1].ravel(), tiny_dataset.train_labels)
+
+    def test_validation_history(self, tiny_dataset):
+        model = BasicHDC(
+            tiny_dataset.num_features,
+            tiny_dataset.num_classes,
+            BasicHDCConfig(dimension=128, refine_epochs=3, seed=4),
+        )
+        history = model.fit(
+            tiny_dataset.train_features,
+            tiny_dataset.train_labels,
+            validation=(tiny_dataset.test_features, tiny_dataset.test_labels),
+        )
+        assert len(history.validation_accuracy) == 3

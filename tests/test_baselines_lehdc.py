@@ -1,0 +1,161 @@
+"""Unit tests for repro.baselines.lehdc."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import LeHDC, LeHDCConfig
+from repro.baselines.lehdc import _softmax
+
+
+@pytest.fixture(scope="module")
+def fitted(tiny_dataset):
+    model = LeHDC(
+        tiny_dataset.num_features,
+        tiny_dataset.num_classes,
+        LeHDCConfig(dimension=256, num_levels=16, epochs=8, batch_size=32, seed=4),
+    )
+    history = model.fit(tiny_dataset.train_features, tiny_dataset.train_labels)
+    return model, history
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        logits = np.random.default_rng(0).normal(size=(5, 4))
+        probs = _softmax(logits)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_stability_with_large_logits(self):
+        probs = _softmax(np.array([[1000.0, 999.0]]))
+        assert np.all(np.isfinite(probs))
+        assert probs[0, 0] > probs[0, 1]
+
+    def test_uniform_for_equal_logits(self):
+        probs = _softmax(np.zeros((1, 4)))
+        assert np.allclose(probs, 0.25)
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"dimension": 0},
+            {"num_levels": 1},
+            {"epochs": -1},
+            {"batch_size": 0},
+            {"learning_rate": 0},
+            {"momentum": 1.0},
+            {"weight_clip": 0},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            LeHDCConfig(**kwargs)
+
+    def test_defaults(self):
+        config = LeHDCConfig()
+        assert config.momentum == 0.9
+        assert config.weight_clip == 1.0
+
+
+class TestLeHDC:
+    def test_name(self):
+        assert LeHDC(4, 2).name == "LeHDC"
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            LeHDC(4, 2, LeHDCConfig(dimension=32, num_levels=4)).predict(
+                np.zeros((1, 4))
+            )
+
+    def test_binary_am(self, fitted):
+        model, _ = fitted
+        assert set(np.unique(model.associative_memory)) <= {-1.0, 1.0}
+
+    def test_latent_weights_clipped(self, fitted):
+        model, _ = fitted
+        assert np.all(np.abs(model._latent) <= model.config.weight_clip + 1e-12)
+
+    def test_training_improves_accuracy(self, fitted):
+        _, history = fitted
+        assert history.final_train_accuracy >= history.initial_accuracy
+
+    def test_better_than_chance(self, fitted, tiny_dataset):
+        model, _ = fitted
+        assert (
+            model.score(tiny_dataset.test_features, tiny_dataset.test_labels)
+            > 1.5 / tiny_dataset.num_classes
+        )
+
+    def test_history_length(self, fitted):
+        _, history = fitted
+        assert history.epochs == 8
+
+    def test_memory_report(self, tiny_dataset):
+        model = LeHDC(
+            tiny_dataset.num_features,
+            tiny_dataset.num_classes,
+            LeHDCConfig(dimension=128, num_levels=16),
+        )
+        report = model.memory_report()
+        assert report.encoder_bits == (tiny_dataset.num_features + 16) * 128
+        assert report.am_bits == tiny_dataset.num_classes * 128
+
+    def test_label_out_of_range_raises(self, tiny_dataset):
+        model = LeHDC(
+            tiny_dataset.num_features,
+            2,  # fewer classes than the dataset really has
+            LeHDCConfig(dimension=64, num_levels=8, epochs=1),
+        )
+        with pytest.raises(ValueError):
+            model.fit(tiny_dataset.train_features, tiny_dataset.train_labels)
+
+    def test_deterministic(self, tiny_dataset):
+        def run():
+            model = LeHDC(
+                tiny_dataset.num_features,
+                tiny_dataset.num_classes,
+                LeHDCConfig(
+                    dimension=64, num_levels=8, epochs=2, batch_size=16, seed=23
+                ),
+            )
+            model.fit(tiny_dataset.train_features, tiny_dataset.train_labels)
+            return model.predict(tiny_dataset.test_features)
+
+        assert np.array_equal(run(), run())
+
+    def test_validation_history(self, tiny_dataset):
+        model = LeHDC(
+            tiny_dataset.num_features,
+            tiny_dataset.num_classes,
+            LeHDCConfig(dimension=64, num_levels=8, epochs=2, seed=1),
+        )
+        history = model.fit(
+            tiny_dataset.train_features,
+            tiny_dataset.train_labels,
+            validation=(tiny_dataset.test_features, tiny_dataset.test_labels),
+        )
+        assert len(history.validation_accuracy) == 2
+
+    def test_gradient_training_beats_single_pass_on_hard_data(self, tiny_hard_dataset):
+        """LeHDC's advertised advantage: trained AM beats a bundled AM."""
+        from repro.baselines import BasicHDC, BasicHDCConfig
+
+        lehdc = LeHDC(
+            tiny_hard_dataset.num_features,
+            tiny_hard_dataset.num_classes,
+            LeHDCConfig(dimension=256, num_levels=16, epochs=15, batch_size=32, seed=9),
+        )
+        basic = BasicHDC(
+            tiny_hard_dataset.num_features,
+            tiny_hard_dataset.num_classes,
+            BasicHDCConfig(dimension=256, refine_epochs=0, seed=9),
+        )
+        lehdc.fit(tiny_hard_dataset.train_features, tiny_hard_dataset.train_labels)
+        basic.fit(tiny_hard_dataset.train_features, tiny_hard_dataset.train_labels)
+        lehdc_acc = lehdc.score(
+            tiny_hard_dataset.test_features, tiny_hard_dataset.test_labels
+        )
+        basic_acc = basic.score(
+            tiny_hard_dataset.test_features, tiny_hard_dataset.test_labels
+        )
+        assert lehdc_acc >= basic_acc - 0.05

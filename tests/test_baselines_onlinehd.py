@@ -1,0 +1,145 @@
+"""Unit tests for repro.baselines.onlinehd."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BasicHDC, BasicHDCConfig, OnlineHD, OnlineHDConfig
+
+
+@pytest.fixture(scope="module")
+def fitted(tiny_dataset):
+    model = OnlineHD(
+        tiny_dataset.num_features,
+        tiny_dataset.num_classes,
+        OnlineHDConfig(dimension=256, epochs=5, seed=3),
+    )
+    history = model.fit(tiny_dataset.train_features, tiny_dataset.train_labels)
+    return model, history
+
+
+class TestConfig:
+    def test_defaults(self):
+        config = OnlineHDConfig()
+        assert config.dimension == 2048
+        assert config.bipolar_encoding is True
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"dimension": 0}, {"epochs": -1}, {"learning_rate": 0.0}],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            OnlineHDConfig(**kwargs)
+
+
+class TestOnlineHD:
+    def test_name(self):
+        assert OnlineHD(4, 2).name == "OnlineHD"
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            OnlineHD(0, 2)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            OnlineHD(4, 2, OnlineHDConfig(dimension=16)).predict(np.zeros((1, 4)))
+
+    def test_am_is_float_per_class(self, fitted, tiny_dataset):
+        model, _ = fitted
+        am = model.associative_memory
+        assert am.shape == (tiny_dataset.num_classes, 256)
+        assert am.dtype == np.float64
+
+    def test_history_tracks_epochs(self, fitted):
+        _, history = fitted
+        assert history.initial_accuracy is not None
+        assert 1 <= history.epochs <= 5
+
+    def test_better_than_chance(self, fitted, tiny_dataset):
+        model, _ = fitted
+        assert (
+            model.score(tiny_dataset.test_features, tiny_dataset.test_labels)
+            > 1.5 / tiny_dataset.num_classes
+        )
+
+    def test_predictions_valid_range(self, fitted, tiny_dataset):
+        model, _ = fitted
+        predictions = model.predict(tiny_dataset.test_features)
+        assert predictions.min() >= 0
+        assert predictions.max() < tiny_dataset.num_classes
+
+    def test_training_improves_over_initial(self, fitted):
+        _, history = fitted
+        assert history.final_train_accuracy >= history.initial_accuracy - 0.02
+
+    def test_memory_report_counts_fp_am(self, tiny_dataset):
+        model = OnlineHD(
+            tiny_dataset.num_features,
+            tiny_dataset.num_classes,
+            OnlineHDConfig(dimension=128),
+        )
+        report = model.memory_report()
+        assert report.encoder_bits == tiny_dataset.num_features * 128
+        assert report.am_bits == tiny_dataset.num_classes * 128 * 32
+
+    def test_deterministic(self, tiny_dataset):
+        def run():
+            model = OnlineHD(
+                tiny_dataset.num_features,
+                tiny_dataset.num_classes,
+                OnlineHDConfig(dimension=64, epochs=2, seed=11),
+            )
+            model.fit(tiny_dataset.train_features, tiny_dataset.train_labels)
+            return model.predict(tiny_dataset.test_features)
+
+        assert np.array_equal(run(), run())
+
+    def test_label_out_of_range_rejected(self, tiny_dataset):
+        model = OnlineHD(tiny_dataset.num_features, 2, OnlineHDConfig(dimension=32))
+        with pytest.raises(ValueError):
+            model.fit(tiny_dataset.train_features, tiny_dataset.train_labels)
+
+    def test_validation_history(self, tiny_dataset):
+        model = OnlineHD(
+            tiny_dataset.num_features,
+            tiny_dataset.num_classes,
+            OnlineHDConfig(dimension=64, epochs=2, seed=1),
+        )
+        history = model.fit(
+            tiny_dataset.train_features,
+            tiny_dataset.train_labels,
+            validation=(tiny_dataset.test_features, tiny_dataset.test_labels),
+        )
+        assert len(history.validation_accuracy) == history.epochs
+
+    def test_not_worse_than_basichdc_at_same_dimension(self, tiny_hard_dataset):
+        """OnlineHD's weighted updates should at least match naive bundling."""
+        online = OnlineHD(
+            tiny_hard_dataset.num_features,
+            tiny_hard_dataset.num_classes,
+            OnlineHDConfig(dimension=256, epochs=10, seed=5),
+        )
+        basic = BasicHDC(
+            tiny_hard_dataset.num_features,
+            tiny_hard_dataset.num_classes,
+            BasicHDCConfig(dimension=256, refine_epochs=0, seed=5),
+        )
+        online.fit(tiny_hard_dataset.train_features, tiny_hard_dataset.train_labels)
+        basic.fit(tiny_hard_dataset.train_features, tiny_hard_dataset.train_labels)
+        assert online.score(
+            tiny_hard_dataset.test_features, tiny_hard_dataset.test_labels
+        ) >= basic.score(
+            tiny_hard_dataset.test_features, tiny_hard_dataset.test_labels
+        ) - 0.05
+
+    def test_real_valued_encoding_variant(self, tiny_dataset):
+        model = OnlineHD(
+            tiny_dataset.num_features,
+            tiny_dataset.num_classes,
+            OnlineHDConfig(dimension=128, epochs=2, bipolar_encoding=False, seed=2),
+        )
+        model.fit(tiny_dataset.train_features, tiny_dataset.train_labels)
+        assert (
+            model.score(tiny_dataset.test_features, tiny_dataset.test_labels)
+            > 1.5 / tiny_dataset.num_classes
+        )

@@ -1,0 +1,125 @@
+"""Unit tests for repro.baselines.searchd."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import SearcHD, SearcHDConfig
+
+
+@pytest.fixture(scope="module")
+def fitted(tiny_dataset):
+    model = SearcHD(
+        tiny_dataset.num_features,
+        tiny_dataset.num_classes,
+        SearcHDConfig(dimension=256, num_models=4, num_levels=16, epochs=2, seed=5),
+    )
+    history = model.fit(tiny_dataset.train_features, tiny_dataset.train_labels)
+    return model, history
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        config = SearcHDConfig()
+        assert config.num_models == 64
+        assert config.num_levels == 256
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"dimension": 0},
+            {"num_models": 0},
+            {"num_levels": 1},
+            {"flip_probability": 0.0},
+            {"flip_probability": 1.5},
+            {"epochs": 0},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            SearcHDConfig(**kwargs)
+
+
+class TestSearcHD:
+    def test_name(self):
+        assert SearcHD(4, 2).name == "SearcHD"
+
+    def test_predict_before_fit_raises(self):
+        model = SearcHD(4, 2, SearcHDConfig(dimension=32, num_models=2, num_levels=4))
+        with pytest.raises(RuntimeError):
+            model.predict(np.zeros((1, 4)))
+
+    def test_am_tensor_shape(self, fitted, tiny_dataset):
+        model, _ = fitted
+        assert model.associative_memory.shape == (tiny_dataset.num_classes, 4, 256)
+
+    def test_am_stays_bipolar_after_training(self, fitted):
+        model, _ = fitted
+        assert set(np.unique(model.associative_memory)) <= {-1, 1}
+
+    def test_better_than_chance(self, fitted, tiny_dataset):
+        model, _ = fitted
+        assert (
+            model.score(tiny_dataset.test_features, tiny_dataset.test_labels)
+            > 1.5 / tiny_dataset.num_classes
+        )
+
+    def test_predictions_valid(self, fitted, tiny_dataset):
+        model, _ = fitted
+        predictions = model.predict(tiny_dataset.test_features)
+        assert predictions.min() >= 0
+        assert predictions.max() < tiny_dataset.num_classes
+
+    def test_history_records_updates(self, fitted):
+        _, history = fitted
+        assert history.epochs == 2
+        assert all(count >= 0 for count in history.updates)
+
+    def test_training_changes_class_vectors(self, tiny_dataset):
+        model = SearcHD(
+            tiny_dataset.num_features,
+            tiny_dataset.num_classes,
+            SearcHDConfig(dimension=128, num_models=2, num_levels=8, epochs=1, seed=6),
+        )
+        # Capture the random initial AM by reproducing the construction seed.
+        model.fit(tiny_dataset.train_features, tiny_dataset.train_labels)
+        fresh = SearcHD(
+            tiny_dataset.num_features,
+            tiny_dataset.num_classes,
+            SearcHDConfig(dimension=128, num_models=2, num_levels=8, epochs=1, seed=6),
+        )
+        # A freshly constructed (unfitted) model has no AM at all.
+        assert fresh._am is None
+        assert model.associative_memory is not None
+
+    def test_memory_report_includes_quantization_factor(self, tiny_dataset):
+        model = SearcHD(
+            tiny_dataset.num_features,
+            tiny_dataset.num_classes,
+            SearcHDConfig(dimension=128, num_models=8, num_levels=16),
+        )
+        report = model.memory_report()
+        assert report.am_bits == tiny_dataset.num_classes * 128 * 8
+        assert report.encoder_bits == (tiny_dataset.num_features + 16) * 128
+
+    def test_deterministic(self, tiny_dataset):
+        def run():
+            model = SearcHD(
+                tiny_dataset.num_features,
+                tiny_dataset.num_classes,
+                SearcHDConfig(
+                    dimension=64, num_models=2, num_levels=8, epochs=1, seed=17
+                ),
+            )
+            model.fit(tiny_dataset.train_features, tiny_dataset.train_labels)
+            return model.predict(tiny_dataset.test_features)
+
+        assert np.array_equal(run(), run())
+
+    def test_multi_model_prediction_uses_best_of_all_vectors(self, fitted, tiny_dataset):
+        model, _ = fitted
+        encoded = model.encoder.encode(tiny_dataset.test_features[:5]).astype(np.float64)
+        k, n, d = model.associative_memory.shape
+        flat = model.associative_memory.reshape(k * n, d).astype(np.float64)
+        best = np.argmax(encoded @ flat.T, axis=1)
+        expected = best // n
+        assert np.array_equal(model.predict(tiny_dataset.test_features[:5]), expected)

@@ -1,0 +1,164 @@
+"""Unit tests for the command-line interface (repro.cli)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import _int_list, build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_info_defaults(self):
+        args = build_parser().parse_args(["info"])
+        assert args.command == "info"
+        assert args.dataset == "mnist"
+        assert args.scale == pytest.approx(0.02)
+
+    def test_train_arguments(self):
+        args = build_parser().parse_args(
+            [
+                "train",
+                "--dataset",
+                "fmnist",
+                "--model",
+                "memhd",
+                "--dimension",
+                "64",
+                "--columns",
+                "32",
+                "--epochs",
+                "3",
+            ]
+        )
+        assert args.model == "memhd"
+        assert args.dimension == 64
+        assert args.columns == 32
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--model", "notamodel"])
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["info", "--dataset", "cifar"])
+
+    def test_int_list_parsing(self):
+        assert _int_list("64,128,256") == [64, 128, 256]
+        with pytest.raises(Exception):
+            _int_list("64,abc")
+        with pytest.raises(Exception):
+            _int_list(",")
+
+    def test_map_partition_list(self):
+        args = build_parser().parse_args(["map", "--partitions", "2,4"])
+        assert args.partitions == [2, 4]
+
+
+class TestCommands:
+    def test_info_command(self, capsys):
+        exit_code = main(["info", "--dataset", "isolet", "--scale", "0.1"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "isolet" in output
+        assert "num_classes" in output
+
+    def test_train_memhd_command(self, capsys):
+        exit_code = main(
+            [
+                "train",
+                "--dataset",
+                "mnist",
+                "--scale",
+                "0.01",
+                "--model",
+                "memhd",
+                "--dimension",
+                "64",
+                "--columns",
+                "32",
+                "--epochs",
+                "2",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "MEMHD" in output
+        assert "test_accuracy_%" in output
+
+    def test_train_basichdc_command(self, capsys):
+        exit_code = main(
+            [
+                "train",
+                "--dataset",
+                "mnist",
+                "--scale",
+                "0.01",
+                "--model",
+                "basichdc",
+                "--dimension",
+                "128",
+                "--epochs",
+                "2",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "BasicHDC" in output
+
+    def test_train_save_artifacts(self, tmp_path, capsys):
+        path = tmp_path / "model.npz"
+        exit_code = main(
+            [
+                "train",
+                "--dataset",
+                "mnist",
+                "--scale",
+                "0.01",
+                "--model",
+                "memhd",
+                "--dimension",
+                "64",
+                "--columns",
+                "16",
+                "--epochs",
+                "1",
+                "--save",
+                str(path),
+            ]
+        )
+        assert exit_code == 0
+        assert path.exists()
+        with np.load(path) as archive:
+            assert archive["binary_am"].shape == (16, 64)
+            assert archive["projection"].shape == (784, 64)
+            assert archive["column_classes"].shape == (16,)
+
+    def test_map_command_prints_table2(self, capsys):
+        exit_code = main(["map", "--dataset", "mnist", "--rows", "128", "--cols", "128"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "MEMHD" in output
+        assert "80.0x fewer cycles" in output
+
+    def test_sweep_command(self, capsys):
+        exit_code = main(
+            [
+                "sweep",
+                "--dataset",
+                "mnist",
+                "--scale",
+                "0.01",
+                "--dimensions",
+                "32,64",
+                "--columns",
+                "16,32",
+                "--epochs",
+                "1",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "D \\ C" in output

@@ -1,0 +1,205 @@
+"""Unit tests for repro.core.associative_memory (MultiCentroidAM)."""
+
+import numpy as np
+import pytest
+
+from repro.core.associative_memory import MultiCentroidAM
+
+
+def make_am(columns=8, dimension=16, num_classes=4, seed=0, **kwargs):
+    gen = np.random.default_rng(seed)
+    fp = gen.normal(size=(columns, dimension))
+    column_classes = np.arange(columns) % num_classes
+    return MultiCentroidAM(fp, column_classes, num_classes=num_classes, **kwargs)
+
+
+class TestConstruction:
+    def test_shapes_and_labels(self):
+        am = make_am()
+        assert am.num_columns == 8
+        assert am.dimension == 16
+        assert am.num_classes == 4
+        assert am.shape_label == "16x8"
+
+    def test_binary_memory_created_at_construction(self):
+        am = make_am()
+        assert am.binary_memory.shape == (8, 16)
+        assert set(np.unique(am.binary_memory)) <= {0, 1}
+
+    def test_missing_class_raises(self):
+        fp = np.random.default_rng(0).normal(size=(4, 8))
+        with pytest.raises(ValueError):
+            MultiCentroidAM(fp, np.array([0, 0, 1, 1]), num_classes=3)
+
+    def test_num_classes_smaller_than_labels_raises(self):
+        fp = np.random.default_rng(0).normal(size=(4, 8))
+        with pytest.raises(ValueError):
+            MultiCentroidAM(fp, np.array([0, 1, 2, 3]), num_classes=3)
+
+    def test_negative_label_raises(self):
+        fp = np.random.default_rng(0).normal(size=(2, 8))
+        with pytest.raises(ValueError):
+            MultiCentroidAM(fp, np.array([-1, 0]))
+
+    def test_column_class_length_mismatch_raises(self):
+        fp = np.random.default_rng(0).normal(size=(4, 8))
+        with pytest.raises(ValueError):
+            MultiCentroidAM(fp, np.array([0, 1, 2]))
+
+    def test_1d_memory_raises(self):
+        with pytest.raises(ValueError):
+            MultiCentroidAM(np.zeros(8), np.array([0]))
+
+    def test_num_classes_inferred(self):
+        fp = np.random.default_rng(0).normal(size=(3, 8))
+        am = MultiCentroidAM(fp, np.array([0, 1, 2]))
+        assert am.num_classes == 3
+
+
+class TestColumnBookkeeping:
+    def test_columns_of_class(self):
+        am = make_am(columns=8, num_classes=4)
+        assert np.array_equal(am.columns_of_class(0), [0, 4])
+        assert np.array_equal(am.columns_of_class(3), [3, 7])
+
+    def test_columns_of_class_out_of_range(self):
+        am = make_am()
+        with pytest.raises(ValueError):
+            am.columns_of_class(99)
+
+    def test_columns_per_class(self):
+        am = make_am(columns=8, num_classes=4)
+        assert am.columns_per_class() == {0: 2, 1: 2, 2: 2, 3: 2}
+
+    def test_memory_bits(self):
+        am = make_am(columns=8, dimension=16)
+        assert am.memory_bits() == 8 * 16
+
+
+class TestScoresAndPrediction:
+    def test_scores_shape(self):
+        am = make_am()
+        queries = np.random.default_rng(1).integers(0, 2, size=(5, 16))
+        assert am.scores(queries).shape == (5, 8)
+
+    def test_single_query_scores(self):
+        am = make_am()
+        query = np.random.default_rng(1).integers(0, 2, size=16)
+        assert am.scores(query).shape == (8,)
+
+    def test_scores_equal_binary_dot_product(self):
+        am = make_am()
+        queries = np.random.default_rng(2).integers(0, 2, size=(4, 16)).astype(float)
+        expected = queries @ am.binary_memory.T.astype(float)
+        assert np.allclose(am.scores(queries), expected)
+
+    def test_dimension_mismatch_raises(self):
+        am = make_am()
+        with pytest.raises(ValueError):
+            am.scores(np.zeros((2, 17)))
+
+    def test_predict_returns_column_class(self):
+        am = make_am()
+        queries = np.random.default_rng(3).integers(0, 2, size=(6, 16))
+        columns = am.predict_columns(queries)
+        assert np.array_equal(am.predict(queries), am.column_classes[columns])
+
+    def test_predict_exact_match_of_stored_vector(self):
+        am = make_am(columns=6, dimension=32, num_classes=3, seed=5)
+        # A query equal to one stored binary row must win that row (its dot
+        # with itself equals its popcount, which upper-bounds any other dot).
+        row = 4
+        query = am.binary_memory[row].astype(float)
+        scores = am.scores(query)
+        assert scores[row] == scores.max()
+
+    def test_class_scores_shape_and_consistency(self):
+        am = make_am()
+        queries = np.random.default_rng(4).integers(0, 2, size=(5, 16))
+        class_scores = am.class_scores(queries)
+        assert class_scores.shape == (5, 4)
+        assert np.array_equal(np.argmax(class_scores, axis=1), am.predict(queries))
+
+
+class TestUpdatesAndRefresh:
+    def test_apply_updates_adds_and_subtracts(self):
+        am = make_am(seed=7)
+        before = am.fp_memory.copy()
+        vector = np.ones(16)
+        am.apply_updates(
+            add_rows=np.array([0]),
+            add_vectors=vector[None, :],
+            subtract_rows=np.array([1]),
+            subtract_vectors=vector[None, :],
+            learning_rate=0.5,
+        )
+        assert np.allclose(am.fp_memory[0], before[0] + 0.5)
+        assert np.allclose(am.fp_memory[1], before[1] - 0.5)
+        assert np.allclose(am.fp_memory[2:], before[2:])
+
+    def test_repeated_rows_accumulate(self):
+        am = make_am(seed=8)
+        before = am.fp_memory[0].copy()
+        vector = np.ones(16)
+        am.apply_updates(
+            add_rows=np.array([0, 0, 0]),
+            add_vectors=np.tile(vector, (3, 1)),
+            subtract_rows=np.array([], dtype=int),
+            subtract_vectors=np.zeros((0, 16)),
+            learning_rate=0.1,
+        )
+        assert np.allclose(am.fp_memory[0], before + 0.3)
+
+    def test_updates_do_not_touch_binary_until_refresh(self):
+        am = make_am(seed=9)
+        binary_before = am.binary_memory.copy()
+        # A non-uniform update (only half the positions) so the row's binary
+        # pattern must change once the memory is re-quantized.
+        update = np.zeros((1, 16))
+        update[0, :8] = 100.0
+        am.apply_updates(
+            add_rows=np.array([0]),
+            add_vectors=update,
+            subtract_rows=np.array([], dtype=int),
+            subtract_vectors=np.zeros((0, 16)),
+            learning_rate=1.0,
+        )
+        assert np.array_equal(am.binary_memory, binary_before)
+        am.refresh_binary()
+        assert not np.array_equal(am.binary_memory, binary_before)
+
+    def test_invalid_learning_rate(self):
+        am = make_am()
+        with pytest.raises(ValueError):
+            am.apply_updates(
+                np.array([0]), np.zeros((1, 16)), np.array([0]), np.zeros((1, 16)), 0.0
+            )
+
+    def test_refresh_uses_configured_normalization(self):
+        gen = np.random.default_rng(10)
+        fp = gen.normal(size=(6, 32))
+        fp[0] += 100.0  # a row that dominates the global-mean threshold
+        labels = np.arange(6) % 3
+        zscore_am = MultiCentroidAM(fp.copy(), labels, normalization="zscore")
+        none_am = MultiCentroidAM(fp.copy(), labels, normalization="none")
+        # Without normalization the dominating row binarizes to (almost) all
+        # ones under the global-mean threshold; z-scoring keeps it balanced.
+        assert none_am.binary_memory[0].mean() > zscore_am.binary_memory[0].mean()
+        assert 0.3 < zscore_am.binary_memory[0].mean() < 0.7
+
+
+class TestCopy:
+    def test_copy_is_independent(self):
+        am = make_am(seed=11)
+        clone = am.copy()
+        clone.fp_memory[0, 0] += 123.0
+        clone.binary_memory[0, 0] = 1 - clone.binary_memory[0, 0]
+        assert am.fp_memory[0, 0] != clone.fp_memory[0, 0]
+        assert am.binary_memory[0, 0] != clone.binary_memory[0, 0]
+
+    def test_copy_preserves_configuration(self):
+        am = make_am(threshold_mode="row-mean", normalization="l2")
+        clone = am.copy()
+        assert clone.threshold_mode == "row-mean"
+        assert clone.normalization == "l2"
+        assert np.array_equal(clone.column_classes, am.column_classes)

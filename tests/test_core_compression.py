@@ -1,0 +1,157 @@
+"""Unit tests for repro.core.compression (merging and pruning centroids)."""
+
+import numpy as np
+import pytest
+
+from repro.core.associative_memory import MultiCentroidAM
+from repro.core.compression import (
+    centroid_usage,
+    merge_similar_centroids,
+    prune_centroids,
+)
+from repro.core.config import MEMHDConfig
+from repro.core.model import MEMHDModel
+
+
+@pytest.fixture()
+def trained_am_and_queries(tiny_dataset):
+    model = MEMHDModel(
+        tiny_dataset.num_features,
+        tiny_dataset.num_classes,
+        MEMHDConfig(dimension=64, columns=32, epochs=5, seed=1),
+        rng=1,
+    )
+    model.fit(tiny_dataset.train_features, tiny_dataset.train_labels)
+    queries = model.encode_binary(tiny_dataset.train_features).astype(np.float64)
+    test_queries = model.encode_binary(tiny_dataset.test_features).astype(np.float64)
+    return (
+        model.associative_memory,
+        queries,
+        tiny_dataset.train_labels,
+        test_queries,
+        tiny_dataset.test_labels,
+    )
+
+
+def make_am_with_duplicates():
+    """A small AM whose class 0 has two identical centroids."""
+    gen = np.random.default_rng(0)
+    base = gen.normal(size=(6, 32))
+    base[1] = base[0] + 1e-9  # near-duplicate of row 0, same class
+    column_classes = np.array([0, 0, 1, 1, 2, 2])
+    return MultiCentroidAM(base, column_classes, num_classes=3)
+
+
+class TestMergeSimilarCentroids:
+    def test_duplicates_are_merged(self):
+        am = make_am_with_duplicates()
+        merged, report = merge_similar_centroids(am, max_hamming_fraction=0.0)
+        assert merged.num_columns == 5
+        assert report.columns_removed == 1
+        assert report.merged_pairs == [(0, 1)]
+        assert report.removed_per_class == {0: 1}
+
+    def test_original_memory_untouched(self):
+        am = make_am_with_duplicates()
+        before = am.fp_memory.copy()
+        merge_similar_centroids(am, max_hamming_fraction=0.0)
+        assert np.array_equal(am.fp_memory, before)
+        assert am.num_columns == 6
+
+    def test_absorbed_mass_added_to_kept_row(self):
+        am = make_am_with_duplicates()
+        merged, _ = merge_similar_centroids(am, max_hamming_fraction=0.0)
+        assert np.allclose(merged.fp_memory[0], am.fp_memory[0] + am.fp_memory[1])
+
+    def test_distinct_centroids_not_merged(self, trained_am_and_queries):
+        am, *_ = trained_am_and_queries
+        merged, report = merge_similar_centroids(am, max_hamming_fraction=0.0)
+        # A trained AM generally has no exactly-duplicate binary rows.
+        assert merged.num_columns >= am.num_columns - 2
+        assert report.columns_after == merged.num_columns
+
+    def test_threshold_one_merges_everything_within_a_class(self):
+        am = make_am_with_duplicates()
+        merged, _ = merge_similar_centroids(am, max_hamming_fraction=1.0)
+        assert merged.num_columns == 3  # one centroid per class survives
+        assert set(merged.column_classes) == {0, 1, 2}
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            merge_similar_centroids(make_am_with_duplicates(), max_hamming_fraction=1.5)
+
+    def test_report_as_dict(self):
+        _, report = merge_similar_centroids(make_am_with_duplicates(), 0.0)
+        data = report.as_dict()
+        assert data["columns_removed"] == 1
+        assert data["merged_pairs"] == [(0, 1)]
+
+
+class TestCentroidUsage:
+    def test_usage_sums_to_sample_count(self, trained_am_and_queries):
+        am, queries, labels, *_ = trained_am_and_queries
+        usage = centroid_usage(am, queries, labels)
+        assert usage.shape == (am.num_columns,)
+        assert usage.sum() == labels.size
+
+    def test_usage_respects_class_partition(self, trained_am_and_queries):
+        am, queries, labels, *_ = trained_am_and_queries
+        usage = centroid_usage(am, queries, labels)
+        for class_label in range(am.num_classes):
+            columns = am.columns_of_class(class_label)
+            class_count = int(np.sum(labels == class_label))
+            assert usage[columns].sum() == class_count
+
+    def test_length_mismatch_raises(self, trained_am_and_queries):
+        am, queries, labels, *_ = trained_am_and_queries
+        with pytest.raises(ValueError):
+            centroid_usage(am, queries, labels[:-1])
+
+
+class TestPruneCentroids:
+    def test_prunes_to_target(self, trained_am_and_queries):
+        am, queries, labels, *_ = trained_am_and_queries
+        pruned, report = prune_centroids(am, queries, labels, target_columns=16)
+        assert pruned.num_columns == 16
+        assert report.columns_after == 16
+        assert report.columns_removed == am.num_columns - 16
+
+    def test_every_class_keeps_a_centroid(self, trained_am_and_queries):
+        am, queries, labels, *_ = trained_am_and_queries
+        pruned, _ = prune_centroids(am, queries, labels, target_columns=am.num_classes)
+        per_class = pruned.columns_per_class()
+        assert all(count >= 1 for count in per_class.values())
+        assert pruned.num_columns == am.num_classes
+
+    def test_target_above_current_is_noop_copy(self, trained_am_and_queries):
+        am, queries, labels, *_ = trained_am_and_queries
+        pruned, report = prune_centroids(am, queries, labels, target_columns=am.num_columns + 5)
+        assert pruned.num_columns == am.num_columns
+        assert report.columns_removed == 0
+        assert pruned is not am
+
+    def test_target_below_class_count_rejected(self, trained_am_and_queries):
+        am, queries, labels, *_ = trained_am_and_queries
+        with pytest.raises(ValueError):
+            prune_centroids(am, queries, labels, target_columns=am.num_classes - 1)
+
+    def test_moderate_pruning_keeps_most_accuracy(self, trained_am_and_queries):
+        am, queries, labels, test_queries, test_labels = trained_am_and_queries
+        baseline = float(np.mean(am.predict(test_queries) == test_labels))
+        pruned, _ = prune_centroids(am, queries, labels, target_columns=24)
+        pruned_accuracy = float(np.mean(pruned.predict(test_queries) == test_labels))
+        assert pruned_accuracy >= baseline - 0.15
+
+    def test_heavier_pruning_never_beats_lighter_by_much(self, trained_am_and_queries):
+        am, queries, labels, test_queries, test_labels = trained_am_and_queries
+        light, _ = prune_centroids(am, queries, labels, target_columns=24)
+        heavy, _ = prune_centroids(am, queries, labels, target_columns=am.num_classes)
+        light_accuracy = float(np.mean(light.predict(test_queries) == test_labels))
+        heavy_accuracy = float(np.mean(heavy.predict(test_queries) == test_labels))
+        assert heavy_accuracy <= light_accuracy + 0.10
+
+    def test_original_memory_untouched(self, trained_am_and_queries):
+        am, queries, labels, *_ = trained_am_and_queries
+        columns_before = am.num_columns
+        prune_centroids(am, queries, labels, target_columns=16)
+        assert am.num_columns == columns_before

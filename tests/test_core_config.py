@@ -1,0 +1,78 @@
+"""Unit tests for repro.core.config."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import MEMHDConfig
+
+
+class TestDefaults:
+    def test_paper_defaults(self):
+        config = MEMHDConfig()
+        assert config.dimension == 128
+        assert config.columns == 128
+        assert 0.0 < config.cluster_ratio <= 1.0
+        assert config.init_method == "clustering"
+        assert config.threshold_mode == "global-mean"
+
+    def test_shape_label(self):
+        assert MEMHDConfig(dimension=512, columns=256).shape_label == "512x256"
+
+    def test_frozen(self):
+        config = MEMHDConfig()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.dimension = 64
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"dimension": 0},
+            {"columns": 0},
+            {"cluster_ratio": 0.0},
+            {"cluster_ratio": 1.2},
+            {"epochs": -1},
+            {"learning_rate": 0.0},
+            {"init_method": "bogus"},
+            {"normalization": "bogus"},
+            {"threshold_mode": "bogus"},
+            {"kmeans_iterations": 0},
+            {"allocation_rounds": 0},
+            {"binary_update_interval": 0},
+            {"early_stop_patience": 0},
+        ],
+    )
+    def test_invalid_values_raise(self, kwargs):
+        with pytest.raises(ValueError):
+            MEMHDConfig(**kwargs)
+
+    def test_valid_alternatives_accepted(self):
+        MEMHDConfig(init_method="random", normalization="l2", threshold_mode="row-mean")
+        MEMHDConfig(normalization="none", early_stop_patience=3)
+
+    def test_validate_for_checks_columns_vs_classes(self):
+        config = MEMHDConfig(columns=8)
+        config.validate_for(8)
+        with pytest.raises(ValueError):
+            config.validate_for(9)
+        with pytest.raises(ValueError):
+            config.validate_for(0)
+
+
+class TestWithUpdates:
+    def test_returns_new_instance(self):
+        config = MEMHDConfig()
+        updated = config.with_updates(dimension=256)
+        assert updated.dimension == 256
+        assert config.dimension == 128
+        assert updated is not config
+
+    def test_updates_are_validated(self):
+        with pytest.raises(ValueError):
+            MEMHDConfig().with_updates(cluster_ratio=2.0)
+
+    def test_multiple_updates(self):
+        updated = MEMHDConfig().with_updates(dimension=64, columns=64, epochs=3)
+        assert (updated.dimension, updated.columns, updated.epochs) == (64, 64, 3)

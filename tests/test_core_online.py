@@ -1,0 +1,175 @@
+"""Unit tests for repro.core.online (OnlineMEMHD)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import MEMHDConfig
+from repro.core.model import MEMHDModel
+from repro.core.online import OnlineMEMHD
+from repro.data.synthetic import SyntheticSpec, make_synthetic_dataset
+
+
+@pytest.fixture()
+def fitted_model(tiny_dataset):
+    model = MEMHDModel(
+        tiny_dataset.num_features,
+        tiny_dataset.num_classes,
+        MEMHDConfig(dimension=64, columns=24, epochs=5, seed=0),
+        rng=0,
+    )
+    model.fit(tiny_dataset.train_features, tiny_dataset.train_labels)
+    return model
+
+
+@pytest.fixture()
+def five_class_dataset():
+    """A dataset with one extra class, sharing the tiny dataset's geometry."""
+    spec = SyntheticSpec(
+        num_classes=5,
+        num_features=24,
+        train_per_class=60,
+        test_per_class=20,
+        modes_per_class=3,
+        latent_dim=8,
+        class_separation=3.0,
+        noise_scale=0.3,
+    )
+    return make_synthetic_dataset("tiny5", spec, rng=7)
+
+
+class TestConstruction:
+    def test_requires_fitted_model(self, tiny_dataset):
+        model = MEMHDModel(
+            tiny_dataset.num_features,
+            tiny_dataset.num_classes,
+            MEMHDConfig(dimension=32, columns=8),
+        )
+        with pytest.raises(RuntimeError):
+            OnlineMEMHD(model)
+
+    def test_default_learning_rate_from_config(self, fitted_model):
+        online = OnlineMEMHD(fitted_model)
+        assert online.learning_rate == fitted_model.config.learning_rate
+
+    def test_invalid_learning_rate(self, fitted_model):
+        with pytest.raises(ValueError):
+            OnlineMEMHD(fitted_model, learning_rate=0.0)
+
+
+class TestPartialFit:
+    def test_returns_batch_statistics(self, fitted_model, tiny_dataset):
+        online = OnlineMEMHD(fitted_model)
+        stats = online.partial_fit(
+            tiny_dataset.train_features[:50], tiny_dataset.train_labels[:50]
+        )
+        assert set(stats) == {"batch_accuracy_before", "batch_accuracy_after", "updates"}
+        assert 0 <= stats["updates"] <= 50
+
+    def test_unknown_label_rejected(self, fitted_model, tiny_dataset):
+        online = OnlineMEMHD(fitted_model)
+        labels = tiny_dataset.train_labels[:10].copy()
+        labels[0] = 99
+        with pytest.raises(ValueError):
+            online.partial_fit(tiny_dataset.train_features[:10], labels)
+
+    def test_length_mismatch_rejected(self, fitted_model, tiny_dataset):
+        online = OnlineMEMHD(fitted_model)
+        with pytest.raises(ValueError):
+            online.partial_fit(
+                tiny_dataset.train_features[:10], tiny_dataset.train_labels[:9]
+            )
+
+    def test_streaming_does_not_destroy_accuracy(self, fitted_model, tiny_dataset):
+        online = OnlineMEMHD(fitted_model, learning_rate=0.02)
+        before = online.evaluate(tiny_dataset.test_features, tiny_dataset.test_labels)
+        for start in range(0, tiny_dataset.num_train, 40):
+            online.partial_fit(
+                tiny_dataset.train_features[start : start + 40],
+                tiny_dataset.train_labels[start : start + 40],
+            )
+        after = online.evaluate(tiny_dataset.test_features, tiny_dataset.test_labels)
+        assert after >= before - 0.10
+
+    def test_repeated_batches_reduce_batch_errors(self, fitted_model, tiny_dataset):
+        online = OnlineMEMHD(fitted_model, learning_rate=0.05)
+        batch_x = tiny_dataset.train_features[:80]
+        batch_y = tiny_dataset.train_labels[:80]
+        first = online.partial_fit(batch_x, batch_y)
+        for _ in range(5):
+            last = online.partial_fit(batch_x, batch_y)
+        # Errors on the repeated batch should not grow (small jitter from the
+        # global re-binarization threshold is tolerated).
+        assert last["updates"] <= first["updates"] + 3
+
+    def test_single_sample_batch(self, fitted_model, tiny_dataset):
+        online = OnlineMEMHD(fitted_model)
+        stats = online.partial_fit(
+            tiny_dataset.train_features[0], tiny_dataset.train_labels[:1]
+        )
+        assert stats["updates"] in (0, 1)
+
+
+class TestAddClass:
+    def test_add_class_without_growth_keeps_shape(
+        self, fitted_model, five_class_dataset
+    ):
+        online = OnlineMEMHD(fitted_model, rng=np.random.default_rng(0))
+        columns_before = fitted_model.associative_memory.num_columns
+        new_samples = five_class_dataset.train_features[
+            five_class_dataset.train_labels == 4
+        ]
+        label = online.add_class(new_samples, columns=3)
+        am = fitted_model.associative_memory
+        assert label == 4
+        assert am.num_columns == columns_before
+        assert am.num_classes == 5
+        assert len(am.columns_of_class(4)) == 3
+        # No existing class lost its last column.
+        assert all(count >= 1 for count in am.columns_per_class().values())
+
+    def test_add_class_with_growth_appends_columns(
+        self, fitted_model, five_class_dataset
+    ):
+        online = OnlineMEMHD(fitted_model, rng=np.random.default_rng(1))
+        columns_before = fitted_model.associative_memory.num_columns
+        new_samples = five_class_dataset.train_features[
+            five_class_dataset.train_labels == 4
+        ]
+        online.add_class(new_samples, columns=2, grow=True)
+        am = fitted_model.associative_memory
+        assert am.num_columns == columns_before + 2
+        assert len(am.columns_of_class(4)) == 2
+
+    def test_added_class_is_recognized(self, fitted_model, five_class_dataset):
+        online = OnlineMEMHD(fitted_model, rng=np.random.default_rng(2))
+        train_mask = five_class_dataset.train_labels == 4
+        test_mask = five_class_dataset.test_labels == 4
+        online.add_class(five_class_dataset.train_features[train_mask], columns=4)
+        # A few partial_fit passes let the new centroids settle.
+        for _ in range(3):
+            online.partial_fit(
+                five_class_dataset.train_features, five_class_dataset.train_labels
+            )
+        predictions = fitted_model.associative_memory.predict(
+            fitted_model.encode_binary(
+                five_class_dataset.test_features[test_mask]
+            ).astype(np.float64)
+        )
+        recall = float(np.mean(predictions == 4))
+        assert recall > 0.5
+
+    def test_existing_label_rejected(self, fitted_model, tiny_dataset):
+        online = OnlineMEMHD(fitted_model)
+        with pytest.raises(ValueError):
+            online.add_class(tiny_dataset.train_features[:5], new_label=0)
+
+    def test_invalid_columns_rejected(self, fitted_model, five_class_dataset):
+        online = OnlineMEMHD(fitted_model)
+        samples = five_class_dataset.train_features[:5]
+        with pytest.raises(ValueError):
+            online.add_class(samples, columns=0)
+
+    def test_empty_samples_rejected(self, fitted_model):
+        online = OnlineMEMHD(fitted_model)
+        with pytest.raises(ValueError):
+            online.add_class(np.empty((0, 24)))

@@ -1,0 +1,206 @@
+"""Unit tests for repro.core.training (quantization-aware iterative learning)."""
+
+import numpy as np
+import pytest
+
+from repro.core.associative_memory import MultiCentroidAM
+from repro.core.initialization import clustering_initialization
+from repro.core.training import QuantizationAwareTrainer
+from repro.eval.metrics import accuracy
+
+
+@pytest.fixture()
+def am_and_data(encoded_training_data):
+    encoded, labels = encoded_training_data
+    init = clustering_initialization(
+        encoded, labels, columns=16, num_classes=4, cluster_ratio=0.75, rng=1
+    )
+    am = MultiCentroidAM(init.fp_memory, init.column_classes, num_classes=4)
+    return am, encoded, labels
+
+
+class TestTrainerValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"learning_rate": 0.0},
+            {"epochs": -1},
+            {"binary_update_interval": 0},
+            {"early_stop_patience": 0},
+        ],
+    )
+    def test_invalid_construction(self, kwargs):
+        with pytest.raises(ValueError):
+            QuantizationAwareTrainer(**kwargs)
+
+    def test_dimension_mismatch_raises(self, am_and_data):
+        am, encoded, labels = am_and_data
+        trainer = QuantizationAwareTrainer(epochs=1)
+        with pytest.raises(ValueError):
+            trainer.train(am, encoded[:, :-1], labels)
+
+    def test_length_mismatch_raises(self, am_and_data):
+        am, encoded, labels = am_and_data
+        trainer = QuantizationAwareTrainer(epochs=1)
+        with pytest.raises(ValueError):
+            trainer.train(am, encoded, labels[:-1])
+
+    def test_1d_encoded_raises(self, am_and_data):
+        am, encoded, labels = am_and_data
+        trainer = QuantizationAwareTrainer(epochs=1)
+        with pytest.raises(ValueError):
+            trainer.train(am, encoded[0], labels[:1])
+
+
+class TestTrainingDynamics:
+    def test_history_lengths(self, am_and_data):
+        am, encoded, labels = am_and_data
+        trainer = QuantizationAwareTrainer(epochs=5, learning_rate=0.05)
+        history = trainer.train(am, encoded, labels, rng=np.random.default_rng(0))
+        assert history.epochs <= 5
+        assert len(history.updates) == history.epochs
+        assert history.initial_accuracy is not None
+
+    def test_training_improves_accuracy(self, am_and_data):
+        am, encoded, labels = am_and_data
+        trainer = QuantizationAwareTrainer(epochs=10, learning_rate=0.05)
+        history = trainer.train(am, encoded, labels, rng=np.random.default_rng(1))
+        assert history.best_train_accuracy >= history.initial_accuracy
+
+    def test_updates_equal_mispredictions(self, am_and_data):
+        am, encoded, labels = am_and_data
+        trainer = QuantizationAwareTrainer(epochs=3, learning_rate=0.05)
+        history = trainer.train(am, encoded, labels, rng=np.random.default_rng(2))
+        assert all(0 <= count <= labels.size for count in history.updates)
+
+    def test_validation_tracked(self, am_and_data):
+        am, encoded, labels = am_and_data
+        trainer = QuantizationAwareTrainer(epochs=3)
+        history = trainer.train(
+            am,
+            encoded,
+            labels,
+            validation=(encoded[:40], labels[:40]),
+            rng=np.random.default_rng(3),
+        )
+        assert len(history.validation_accuracy) == history.epochs
+
+    def test_zero_epochs_keeps_initial_state(self, am_and_data):
+        am, encoded, labels = am_and_data
+        binary_before = am.binary_memory.copy()
+        trainer = QuantizationAwareTrainer(epochs=0)
+        history = trainer.train(am, encoded, labels)
+        assert history.train_accuracy == [history.initial_accuracy]
+        assert np.array_equal(am.binary_memory, binary_before)
+
+    def test_stops_when_no_mispredictions(self, encoded_training_data):
+        encoded, labels = encoded_training_data
+        # A memory that already classifies everything perfectly: one column
+        # per class equal to that class's mean pattern scaled up.
+        init = clustering_initialization(
+            encoded, labels, columns=8, num_classes=4, cluster_ratio=1.0, rng=0
+        )
+        am = MultiCentroidAM(init.fp_memory, init.column_classes, num_classes=4)
+        trainer = QuantizationAwareTrainer(epochs=50, learning_rate=0.01)
+        history = trainer.train(am, encoded, labels, rng=np.random.default_rng(4))
+        if history.updates and history.updates[-1] == 0:
+            assert history.epochs < 50
+
+    def test_early_stopping(self, am_and_data):
+        am, encoded, labels = am_and_data
+        trainer = QuantizationAwareTrainer(
+            epochs=40, learning_rate=0.05, early_stop_patience=2
+        )
+        history = trainer.train(am, encoded, labels, rng=np.random.default_rng(5))
+        assert history.epochs <= 40
+
+    def test_binary_update_interval(self, am_and_data):
+        am, encoded, labels = am_and_data
+        trainer = QuantizationAwareTrainer(
+            epochs=4, learning_rate=0.05, binary_update_interval=2
+        )
+        history = trainer.train(am, encoded, labels, rng=np.random.default_rng(6))
+        assert history.epochs <= 4
+
+    def test_final_binary_memory_is_consistent_with_fp_without_keep_best(
+        self, am_and_data
+    ):
+        am, encoded, labels = am_and_data
+        trainer = QuantizationAwareTrainer(epochs=3, learning_rate=0.05, keep_best=False)
+        trainer.train(am, encoded, labels, rng=np.random.default_rng(7))
+        expected = am.copy()
+        expected.refresh_binary()
+        assert np.array_equal(am.binary_memory, expected.binary_memory)
+
+    def test_keep_best_never_ends_below_initial_accuracy(self, am_and_data):
+        am, encoded, labels = am_and_data
+        trainer = QuantizationAwareTrainer(
+            epochs=10, learning_rate=0.5, keep_best=True
+        )
+        history = trainer.train(am, encoded, labels, rng=np.random.default_rng(8))
+        final = accuracy(am.predict(encoded), labels)
+        # Even with an aggressive learning rate the deployed binary memory is
+        # the best snapshot seen, so it cannot fall below the initial state.
+        assert final >= history.initial_accuracy - 1e-12
+        assert final == pytest.approx(max([history.initial_accuracy] + history.train_accuracy))
+
+    def test_deterministic_given_rng(self, encoded_training_data):
+        encoded, labels = encoded_training_data
+
+        def run():
+            init = clustering_initialization(
+                encoded, labels, columns=16, num_classes=4, rng=9
+            )
+            am = MultiCentroidAM(init.fp_memory, init.column_classes, num_classes=4)
+            trainer = QuantizationAwareTrainer(epochs=4, learning_rate=0.05)
+            trainer.train(am, encoded, labels, rng=np.random.default_rng(11))
+            return am.binary_memory.copy()
+
+        assert np.array_equal(run(), run())
+
+
+class TestUpdateTargetSelection:
+    def test_eq4_eq5_targets(self):
+        """Hand-crafted case checking the Eq. (4)/(5) target selection.
+
+        The FP memory below binarizes (row-mean threshold, no normalization)
+        to the binary rows
+
+            col 0 (class 0): [1, 1, 0, 0]
+            col 1 (class 0): [1, 0, 0, 0]
+            col 2 (class 1): [0, 0, 1, 1]
+            col 3 (class 1): [0, 1, 1, 1]
+
+        so the query ``[0, 1, 1, 1]`` with true label 0 scores (1, 0, 2, 3):
+        the associative search wrongly picks column 3 (class 1), the Eq. (4)
+        target, while the most similar column *within* class 0 is column 0,
+        the Eq. (5) target.
+        """
+        fp = np.array(
+            [
+                [5.0, 5.0, 0.0, 0.0],   # class 0, column 0
+                [5.0, 0.0, 0.0, 0.0],   # class 0, column 1
+                [0.0, 0.0, 5.0, 5.0],   # class 1, column 2
+                [0.0, 5.0, 5.0, 5.0],   # class 1, column 3
+            ]
+        )
+        column_classes = np.array([0, 0, 1, 1])
+        am = MultiCentroidAM(
+            fp.copy(), column_classes, num_classes=2, normalization="none",
+            threshold_mode="row-mean",
+        )
+        assert np.array_equal(
+            am.binary_memory,
+            np.array([[1, 1, 0, 0], [1, 0, 0, 0], [0, 0, 1, 1], [0, 1, 1, 1]]),
+        )
+        query = np.array([[0.0, 1.0, 1.0, 1.0]])
+        label = np.array([0])
+
+        trainer = QuantizationAwareTrainer(epochs=1, learning_rate=1.0, shuffle=False)
+        fp_before = am.fp_memory.copy()
+        trainer.train(am, query, label, rng=np.random.default_rng(0))
+
+        assert np.allclose(am.fp_memory[0], fp_before[0] + query[0])   # Eq. (5)
+        assert np.allclose(am.fp_memory[3], fp_before[3] - query[0])   # Eq. (4)
+        assert np.allclose(am.fp_memory[1], fp_before[1])
+        assert np.allclose(am.fp_memory[2], fp_before[2])

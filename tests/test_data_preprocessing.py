@@ -1,0 +1,133 @@
+"""Unit tests for repro.data.preprocessing."""
+
+import numpy as np
+import pytest
+
+from repro.data.preprocessing import (
+    minmax_normalize,
+    standardize,
+    stratified_subsample,
+    train_test_split,
+)
+
+
+class TestMinMaxNormalize:
+    def test_output_range(self):
+        data = np.random.default_rng(0).normal(5, 3, size=(50, 4))
+        scaled = minmax_normalize(data)
+        assert scaled.min() >= 0.0
+        assert scaled.max() <= 1.0
+
+    def test_columns_span_full_range(self):
+        data = np.random.default_rng(1).normal(size=(100, 3))
+        scaled = minmax_normalize(data)
+        assert np.allclose(scaled.min(axis=0), 0.0)
+        assert np.allclose(scaled.max(axis=0), 1.0)
+
+    def test_constant_column_does_not_divide_by_zero(self):
+        data = np.column_stack([np.ones(10), np.arange(10.0)])
+        scaled = minmax_normalize(data)
+        assert np.all(np.isfinite(scaled))
+        assert np.allclose(scaled[:, 0], 0.0)
+
+    def test_reference_scaling_avoids_leakage(self):
+        train = np.array([[0.0], [10.0]])
+        test = np.array([[5.0], [20.0]])
+        scaled = minmax_normalize(test, reference=train)
+        assert scaled[0, 0] == pytest.approx(0.5)
+        assert scaled[1, 0] == pytest.approx(1.0)  # clipped
+
+
+class TestStandardize:
+    def test_zero_mean_unit_std(self):
+        data = np.random.default_rng(2).normal(3, 2, size=(200, 5))
+        scaled = standardize(data)
+        assert np.allclose(scaled.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(scaled.std(axis=0), 1.0, atol=1e-9)
+
+    def test_constant_column_safe(self):
+        data = np.column_stack([np.full(10, 7.0), np.arange(10.0)])
+        scaled = standardize(data)
+        assert np.all(np.isfinite(scaled))
+        assert np.allclose(scaled[:, 0], 0.0)
+
+    def test_reference(self):
+        train = np.array([[0.0], [2.0]])
+        test = np.array([[1.0]])
+        scaled = standardize(test, reference=train)
+        assert scaled[0, 0] == pytest.approx(0.0)
+
+
+class TestTrainTestSplit:
+    def _data(self, n_per_class=20, classes=4, features=3, seed=0):
+        gen = np.random.default_rng(seed)
+        x = gen.random((n_per_class * classes, features))
+        y = np.repeat(np.arange(classes), n_per_class)
+        return x, y
+
+    def test_sizes(self):
+        x, y = self._data()
+        train_x, train_y, test_x, test_y = train_test_split(x, y, 0.25, rng=0)
+        assert train_x.shape[0] + test_x.shape[0] == x.shape[0]
+        assert train_x.shape[0] == train_y.shape[0]
+        assert test_x.shape[0] == test_y.shape[0]
+        assert abs(test_x.shape[0] - 0.25 * x.shape[0]) <= 4
+
+    def test_stratified_keeps_all_classes(self):
+        x, y = self._data()
+        _, train_y, _, test_y = train_test_split(x, y, 0.25, rng=1)
+        assert set(np.unique(train_y)) == {0, 1, 2, 3}
+        assert set(np.unique(test_y)) == {0, 1, 2, 3}
+
+    def test_no_overlap_between_splits(self):
+        x, y = self._data()
+        x_ids = np.arange(x.shape[0]).reshape(-1, 1).astype(float)
+        train_x, _, test_x, _ = train_test_split(x_ids, y, 0.3, rng=2)
+        assert set(train_x.ravel()).isdisjoint(set(test_x.ravel()))
+        assert len(train_x) + len(test_x) == x.shape[0]
+
+    def test_unstratified_split(self):
+        x, y = self._data()
+        train_x, _, test_x, _ = train_test_split(x, y, 0.2, rng=3, stratify=False)
+        assert train_x.shape[0] + test_x.shape[0] == x.shape[0]
+
+    def test_deterministic(self):
+        x, y = self._data()
+        a = train_test_split(x, y, 0.2, rng=9)
+        b = train_test_split(x, y, 0.2, rng=9)
+        assert np.array_equal(a[0], b[0])
+
+    @pytest.mark.parametrize("fraction", [0.0, 1.0, -0.2, 1.5])
+    def test_invalid_fraction_raises(self, fraction):
+        x, y = self._data()
+        with pytest.raises(ValueError):
+            train_test_split(x, y, fraction)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros((5, 2)), np.zeros(4))
+
+
+class TestStratifiedSubsample:
+    def test_caps_per_class(self):
+        x = np.random.default_rng(0).random((100, 2))
+        y = np.repeat(np.arange(4), 25)
+        sub_x, sub_y = stratified_subsample(x, y, per_class=5, rng=0)
+        assert sub_x.shape == (20, 2)
+        assert np.array_equal(np.bincount(sub_y), [5, 5, 5, 5])
+
+    def test_small_classes_kept_whole(self):
+        x = np.random.default_rng(1).random((7, 2))
+        y = np.array([0, 0, 0, 0, 0, 1, 1])
+        _, sub_y = stratified_subsample(x, y, per_class=4, rng=1)
+        assert np.bincount(sub_y)[1] == 2
+
+    def test_invalid_per_class(self):
+        with pytest.raises(ValueError):
+            stratified_subsample(np.zeros((3, 1)), np.zeros(3, dtype=int), per_class=0)
+
+    def test_no_duplicates(self):
+        x = np.arange(30).reshape(-1, 1).astype(float)
+        y = np.repeat(np.arange(3), 10)
+        sub_x, _ = stratified_subsample(x, y, per_class=6, rng=2)
+        assert len(np.unique(sub_x)) == len(sub_x)

@@ -1,0 +1,173 @@
+"""Unit tests for repro.data.synthetic."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import (
+    SyntheticSpec,
+    make_multimodal_classification,
+    make_synthetic_dataset,
+)
+
+
+def small_spec(**overrides):
+    defaults = dict(
+        num_classes=3,
+        num_features=12,
+        train_per_class=30,
+        test_per_class=10,
+        modes_per_class=2,
+        latent_dim=5,
+        class_separation=3.0,
+        noise_scale=0.2,
+    )
+    defaults.update(overrides)
+    return SyntheticSpec(**defaults)
+
+
+class TestSyntheticSpec:
+    def test_defaults_are_valid(self):
+        spec = SyntheticSpec()
+        assert spec.num_classes == 10
+        assert spec.mode_assignment == "interleaved"
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("num_classes", 0),
+            ("num_features", -1),
+            ("train_per_class", 0),
+            ("test_per_class", 0),
+            ("modes_per_class", 0),
+            ("latent_dim", 0),
+        ],
+    )
+    def test_non_positive_counts_raise(self, field, value):
+        with pytest.raises(ValueError):
+            small_spec(**{field: value})
+
+    @pytest.mark.parametrize(
+        "field", ["class_separation", "mode_spread", "noise_scale"]
+    )
+    def test_negative_scales_raise(self, field):
+        with pytest.raises(ValueError):
+            small_spec(**{field: -0.1})
+
+    def test_invalid_mode_assignment_raises(self):
+        with pytest.raises(ValueError):
+            small_spec(mode_assignment="other")
+
+    def test_spec_is_frozen(self):
+        spec = small_spec()
+        with pytest.raises(Exception):
+            spec.num_classes = 5
+
+
+class TestMakeMultimodalClassification:
+    def test_split_shapes(self):
+        spec = small_spec()
+        train_x, train_y, test_x, test_y = make_multimodal_classification(spec, rng=0)
+        assert train_x.shape == (90, 12)
+        assert train_y.shape == (90,)
+        assert test_x.shape == (30, 12)
+        assert test_y.shape == (30,)
+
+    def test_feature_range_is_unit_interval(self):
+        spec = small_spec()
+        train_x, _, test_x, _ = make_multimodal_classification(spec, rng=1)
+        assert train_x.min() >= 0.0 and train_x.max() <= 1.0
+        assert test_x.min() >= 0.0 and test_x.max() <= 1.0
+
+    def test_every_class_present_with_expected_counts(self):
+        spec = small_spec()
+        _, train_y, _, test_y = make_multimodal_classification(spec, rng=2)
+        assert np.array_equal(np.bincount(train_y), [30, 30, 30])
+        assert np.array_equal(np.bincount(test_y), [10, 10, 10])
+
+    def test_deterministic_given_seed(self):
+        spec = small_spec()
+        a = make_multimodal_classification(spec, rng=5)
+        b = make_multimodal_classification(spec, rng=5)
+        for left, right in zip(a, b):
+            assert np.array_equal(left, right)
+
+    def test_different_seeds_give_different_data(self):
+        spec = small_spec()
+        a = make_multimodal_classification(spec, rng=1)[0]
+        b = make_multimodal_classification(spec, rng=2)[0]
+        assert not np.array_equal(a, b)
+
+    def test_labels_are_shuffled(self):
+        spec = small_spec()
+        _, train_y, _, _ = make_multimodal_classification(spec, rng=3)
+        # Class blocks must not be contiguous after shuffling.
+        assert not np.array_equal(train_y, np.sort(train_y))
+
+    def test_classes_are_separable_by_a_simple_classifier(self):
+        """Nearest-mode-centroid error should be far below chance."""
+        spec = small_spec(class_separation=5.0, noise_scale=0.1)
+        train_x, train_y, test_x, test_y = make_multimodal_classification(spec, rng=4)
+        correct = 0
+        for x, y in zip(test_x, test_y):
+            distances = np.linalg.norm(train_x - x, axis=1)
+            correct += int(train_y[np.argmin(distances)] == y)
+        assert correct / test_y.size > 0.8
+
+    def test_interleaved_classes_are_multimodal(self):
+        """With interleaved modes the class mean is a poor prototype.
+
+        Nearest-class-mean accuracy should be clearly worse than 1-NN, which
+        is exactly the regime the multi-centroid AM targets.
+        """
+        spec = small_spec(
+            num_classes=4,
+            modes_per_class=4,
+            train_per_class=80,
+            test_per_class=30,
+            class_separation=4.0,
+            noise_scale=0.2,
+        )
+        train_x, train_y, test_x, test_y = make_multimodal_classification(spec, rng=6)
+        means = np.vstack([train_x[train_y == c].mean(axis=0) for c in range(4)])
+        mean_pred = np.argmin(
+            np.linalg.norm(test_x[:, None, :] - means[None, :, :], axis=2), axis=1
+        )
+        mean_acc = float(np.mean(mean_pred == test_y))
+
+        nn_pred = train_y[
+            np.argmin(np.linalg.norm(test_x[:, None, :] - train_x[None, :, :], axis=2), axis=1)
+        ]
+        nn_acc = float(np.mean(nn_pred == test_y))
+        assert nn_acc > mean_acc + 0.1
+
+    def test_compact_mode_is_nearly_unimodal(self):
+        """Compact assignment should be easy for a nearest-mean classifier."""
+        spec = small_spec(
+            mode_assignment="compact",
+            class_separation=6.0,
+            mode_spread=0.5,
+            noise_scale=0.1,
+        )
+        train_x, train_y, test_x, test_y = make_multimodal_classification(spec, rng=7)
+        means = np.vstack([train_x[train_y == c].mean(axis=0) for c in range(3)])
+        pred = np.argmin(
+            np.linalg.norm(test_x[:, None, :] - means[None, :, :], axis=2), axis=1
+        )
+        assert float(np.mean(pred == test_y)) > 0.9
+
+
+class TestMakeSyntheticDataset:
+    def test_dataset_container_fields(self):
+        dataset = make_synthetic_dataset("unit", small_spec(), rng=0)
+        assert dataset.name == "unit"
+        assert dataset.synthetic is True
+        assert dataset.num_features == 12
+        assert dataset.num_classes == 3
+        assert dataset.num_train == 90
+        assert dataset.num_test == 30
+
+    def test_summary(self):
+        dataset = make_synthetic_dataset("unit", small_spec(), rng=0)
+        summary = dataset.summary()
+        assert summary["name"] == "unit"
+        assert summary["num_classes"] == 3

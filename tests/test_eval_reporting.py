@@ -1,0 +1,103 @@
+"""Unit tests for repro.eval.reporting."""
+
+import numpy as np
+import pytest
+
+from repro.eval.reporting import (
+    format_accuracy_memory,
+    format_heatmap,
+    format_table,
+    normalize_series,
+)
+
+
+class TestFormatTable:
+    def test_contains_headers_and_values(self):
+        rows = [{"model": "MEMHD", "accuracy": 0.95}, {"model": "BasicHDC", "accuracy": 0.9}]
+        text = format_table(rows)
+        assert "model" in text
+        assert "MEMHD" in text
+        assert "0.95" in text
+
+    def test_empty_rows(self):
+        assert format_table([]) == "(empty table)"
+
+    def test_title_included(self):
+        text = format_table([{"a": 1}], title="Table II")
+        assert text.splitlines()[0] == "Table II"
+
+    def test_explicit_column_selection_and_order(self):
+        rows = [{"a": 1, "b": 2, "c": 3}]
+        text = format_table(rows, columns=["c", "a"])
+        header = text.splitlines()[0]
+        assert header.index("c") < header.index("a")
+        assert "b" not in header
+
+    def test_missing_keys_render_empty(self):
+        text = format_table([{"a": 1}, {"b": 2}], columns=["a", "b"])
+        assert "1" in text and "2" in text
+
+    def test_float_formatting(self):
+        text = format_table([{"x": 0.123456}], float_format="{:.2f}")
+        assert "0.12" in text
+
+    def test_alignment_consistent(self):
+        rows = [{"name": "a", "value": 1}, {"name": "longer-name", "value": 22}]
+        lines = format_table(rows).splitlines()
+        assert len({len(line) for line in lines[0:1] + lines[2:]}) == 1
+
+
+class TestNormalizeSeries:
+    def test_max_becomes_peak(self):
+        assert normalize_series([1.0, 2.0, 4.0]) == [25.0, 50.0, 100.0]
+
+    def test_custom_peak(self):
+        assert normalize_series([2.0, 1.0], peak=1.0) == [1.0, 0.5]
+
+    def test_empty(self):
+        assert normalize_series([]) == []
+
+    def test_non_positive_max_raises(self):
+        with pytest.raises(ValueError):
+            normalize_series([0.0, 0.0])
+
+
+class TestFormatAccuracyMemory:
+    def test_sorted_by_memory(self):
+        records = [
+            {"model": "big", "label": "big", "memory_kib": 100.0, "test_accuracy": 0.9},
+            {"model": "small", "label": "small", "memory_kib": 1.0, "test_accuracy": 0.8},
+        ]
+        text = format_accuracy_memory(records)
+        assert text.index("small") < text.index("big")
+
+    def test_accepts_record_objects(self, tiny_dataset):
+        from repro.baselines import BasicHDC, BasicHDCConfig
+        from repro.eval.experiments import evaluate_classifier
+
+        model = BasicHDC(
+            tiny_dataset.num_features,
+            tiny_dataset.num_classes,
+            BasicHDCConfig(dimension=32, seed=0),
+        )
+        record = evaluate_classifier(model, tiny_dataset, record_history=False)
+        text = format_accuracy_memory([record], title="Fig. 3")
+        assert "Fig. 3" in text
+        assert "BasicHDC" in text
+
+
+class TestFormatHeatmap:
+    def test_grid_rendering(self):
+        grid = {(64, 64): 0.5, (64, 128): 0.6, (128, 64): 0.7, (128, 128): 0.8}
+        text = format_heatmap(grid, title="Fig. 4")
+        assert "Fig. 4" in text
+        assert "64" in text and "128" in text
+        assert "80.0" in text  # 0.8 rendered as a percentage
+
+    def test_missing_cells_rendered_as_dashes(self):
+        grid = {(64, 64): 0.5, (128, 128): 0.9}
+        text = format_heatmap(grid)
+        assert "--" in text
+
+    def test_empty_grid(self):
+        assert format_heatmap({}) == "(empty heatmap)"

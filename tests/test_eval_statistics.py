@@ -1,0 +1,143 @@
+"""Unit tests for repro.eval.statistics."""
+
+import numpy as np
+import pytest
+
+from repro.eval.statistics import (
+    paired_bootstrap,
+    run_trials,
+    summarize_trials,
+)
+
+
+class TestSummarizeTrials:
+    def test_single_value(self):
+        summary = summarize_trials([0.8])
+        assert summary.mean == pytest.approx(0.8)
+        assert summary.std == 0.0
+        assert summary.ci_low == summary.ci_high == pytest.approx(0.8)
+        assert summary.count == 1
+
+    def test_mean_and_std(self):
+        summary = summarize_trials([0.7, 0.8, 0.9])
+        assert summary.mean == pytest.approx(0.8)
+        assert summary.std == pytest.approx(0.1)
+        assert summary.count == 3
+
+    def test_interval_contains_mean(self):
+        summary = summarize_trials([0.5, 0.6, 0.7, 0.8])
+        assert summary.ci_low <= summary.mean <= summary.ci_high
+
+    def test_interval_width_shrinks_with_more_trials(self):
+        rng = np.random.default_rng(0)
+        few = summarize_trials(rng.normal(0.8, 0.05, 5))
+        many = summarize_trials(rng.normal(0.8, 0.05, 50))
+        assert (many.ci_high - many.ci_low) < (few.ci_high - few.ci_low)
+
+    def test_higher_confidence_widens_interval(self):
+        values = [0.6, 0.7, 0.8, 0.9]
+        narrow = summarize_trials(values, confidence=0.8)
+        wide = summarize_trials(values, confidence=0.99)
+        assert (wide.ci_high - wide.ci_low) > (narrow.ci_high - narrow.ci_low)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            summarize_trials([])
+        with pytest.raises(ValueError):
+            summarize_trials([0.5], confidence=1.5)
+
+    def test_as_dict(self):
+        data = summarize_trials([0.5, 0.7]).as_dict()
+        assert set(data) == {"mean", "std", "count", "ci_low", "ci_high", "confidence"}
+
+
+class TestPairedBootstrap:
+    def test_clear_winner(self):
+        a = [0.90, 0.91, 0.92, 0.93, 0.90]
+        b = [0.80, 0.82, 0.81, 0.83, 0.80]
+        result = paired_bootstrap(a, b, rng=0)
+        assert result["mean_difference"] == pytest.approx(0.10, abs=0.01)
+        assert result["p_not_better"] < 0.05
+        assert result["ci_low"] > 0
+
+    def test_symmetric_when_swapped(self):
+        a = [0.9, 0.8, 0.85]
+        b = [0.7, 0.75, 0.72]
+        forward = paired_bootstrap(a, b, rng=1)
+        backward = paired_bootstrap(b, a, rng=1)
+        assert forward["mean_difference"] == pytest.approx(-backward["mean_difference"])
+
+    def test_no_difference(self):
+        values = [0.8, 0.82, 0.78, 0.81]
+        result = paired_bootstrap(values, values, rng=2)
+        assert result["mean_difference"] == pytest.approx(0.0)
+        assert result["p_not_better"] == pytest.approx(1.0)
+
+    def test_single_pair(self):
+        result = paired_bootstrap([0.9], [0.8], rng=3)
+        assert result["mean_difference"] == pytest.approx(0.1)
+        assert result["p_not_better"] == 0.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            paired_bootstrap([0.1, 0.2], [0.1])
+        with pytest.raises(ValueError):
+            paired_bootstrap([], [])
+        with pytest.raises(ValueError):
+            paired_bootstrap([0.1], [0.2], num_resamples=0)
+
+    def test_deterministic_given_seed(self):
+        a = [0.9, 0.85, 0.88, 0.92]
+        b = [0.86, 0.84, 0.9, 0.87]
+        assert paired_bootstrap(a, b, rng=7) == paired_bootstrap(a, b, rng=7)
+
+
+class TestRunTrials:
+    def test_runs_requested_number_of_trials(self):
+        calls = []
+
+        def experiment(seed):
+            calls.append(seed)
+            return 0.5
+
+        summary = run_trials(experiment, num_trials=4, rng=0)
+        assert len(calls) == 4
+        assert summary.count == 4
+        assert summary.mean == pytest.approx(0.5)
+
+    def test_distinct_seeds_per_trial(self):
+        seeds = []
+        run_trials(lambda seed: seeds.append(seed) or 0.0, num_trials=5, rng=1)
+        assert len(set(seeds)) == 5
+
+    def test_deterministic_given_rng(self):
+        def experiment(seed):
+            return (seed % 100) / 100.0
+
+        a = run_trials(experiment, num_trials=3, rng=9)
+        b = run_trials(experiment, num_trials=3, rng=9)
+        assert a.mean == b.mean
+
+    def test_invalid_trial_count(self):
+        with pytest.raises(ValueError):
+            run_trials(lambda seed: 0.0, num_trials=0)
+
+    def test_real_model_trials(self, tiny_dataset):
+        """End-to-end: multi-trial MEMHD accuracy with a confidence interval."""
+        from repro.core.config import MEMHDConfig
+        from repro.core.model import MEMHDModel
+
+        def experiment(seed):
+            model = MEMHDModel(
+                tiny_dataset.num_features,
+                tiny_dataset.num_classes,
+                MEMHDConfig(dimension=48, columns=16, epochs=3, seed=seed),
+                rng=seed,
+            )
+            model.fit(tiny_dataset.train_features, tiny_dataset.train_labels)
+            return model.score(tiny_dataset.test_features, tiny_dataset.test_labels)
+
+        summary = run_trials(experiment, num_trials=3, rng=5)
+        assert summary.count == 3
+        assert 0.0 <= summary.ci_low <= summary.mean <= summary.ci_high <= 1.0
+        assert summary.mean > 1.5 / tiny_dataset.num_classes

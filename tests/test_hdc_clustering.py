@@ -1,0 +1,144 @@
+"""Unit tests for repro.hdc.clustering (dot-similarity K-means)."""
+
+import numpy as np
+import pytest
+
+from repro.hdc.clustering import classwise_clustering, dot_kmeans
+
+
+def _blobs(num_blobs, per_blob, dimension, separation, rng):
+    """Well-separated Gaussian blobs plus their blob labels."""
+    gen = np.random.default_rng(rng)
+    centers = gen.normal(0.0, separation, size=(num_blobs, dimension))
+    samples = np.vstack(
+        [centers[i] + gen.normal(0, 0.3, size=(per_blob, dimension)) for i in range(num_blobs)]
+    )
+    labels = np.repeat(np.arange(num_blobs), per_blob)
+    return samples, labels
+
+
+class TestDotKMeans:
+    def test_result_shapes(self):
+        samples, _ = _blobs(3, 20, 8, 5.0, 0)
+        result = dot_kmeans(samples, 3, rng=0)
+        assert result.centroids.shape == (3, 8)
+        assert result.assignments.shape == (60,)
+        assert result.num_clusters == 3
+
+    def test_assignments_within_range(self):
+        samples, _ = _blobs(4, 10, 6, 4.0, 1)
+        result = dot_kmeans(samples, 4, rng=1)
+        assert result.assignments.min() >= 0
+        assert result.assignments.max() < 4
+
+    def test_separated_blobs_are_recovered(self):
+        samples, blob_labels = _blobs(3, 30, 10, 8.0, 2)
+        result = dot_kmeans(samples, 3, rng=2)
+        # Every blob should map (almost) entirely to a single cluster.
+        for blob in range(3):
+            assigned = result.assignments[blob_labels == blob]
+            dominant_fraction = np.bincount(assigned, minlength=3).max() / assigned.size
+            assert dominant_fraction > 0.9
+
+    def test_single_cluster_is_mean(self):
+        samples = np.random.default_rng(3).normal(size=(20, 5))
+        result = dot_kmeans(samples, 1, rng=3)
+        assert np.allclose(result.centroids[0], samples.mean(axis=0))
+        assert result.converged
+
+    def test_no_empty_clusters(self):
+        samples, _ = _blobs(2, 50, 6, 5.0, 4)
+        result = dot_kmeans(samples, 8, rng=4)
+        sizes = result.cluster_sizes()
+        assert sizes.shape == (8,)
+        assert np.all(sizes > 0)
+
+    def test_deterministic_with_seed(self):
+        samples, _ = _blobs(3, 15, 7, 4.0, 5)
+        a = dot_kmeans(samples, 3, rng=42)
+        b = dot_kmeans(samples, 3, rng=42)
+        assert np.array_equal(a.assignments, b.assignments)
+        assert np.allclose(a.centroids, b.centroids)
+
+    def test_random_init_also_works(self):
+        samples, _ = _blobs(3, 20, 6, 6.0, 6)
+        result = dot_kmeans(samples, 3, rng=6, init="random")
+        assert result.centroids.shape == (3, 6)
+
+    def test_unknown_init_raises(self):
+        with pytest.raises(ValueError):
+            dot_kmeans(np.zeros((5, 3)), 2, init="bogus")
+
+    def test_more_clusters_than_samples_raises(self):
+        with pytest.raises(ValueError):
+            dot_kmeans(np.zeros((3, 2)), 4)
+
+    def test_zero_clusters_raises(self):
+        with pytest.raises(ValueError):
+            dot_kmeans(np.zeros((3, 2)), 0)
+
+    def test_1d_input_raises(self):
+        with pytest.raises(ValueError):
+            dot_kmeans(np.zeros(5), 2)
+
+    def test_iterations_bounded(self):
+        samples, _ = _blobs(4, 25, 8, 3.0, 7)
+        result = dot_kmeans(samples, 4, max_iterations=3, rng=7)
+        assert result.iterations <= 3
+
+    def test_inertia_improves_with_more_clusters(self):
+        samples, _ = _blobs(4, 25, 8, 5.0, 8)
+        few = dot_kmeans(samples, 2, rng=8)
+        many = dot_kmeans(samples, 6, rng=8)
+        assert many.inertia <= few.inertia
+
+    def test_assignment_is_argmax_dot(self):
+        samples, _ = _blobs(3, 20, 6, 5.0, 9)
+        result = dot_kmeans(samples, 3, rng=9)
+        sims = samples @ result.centroids.T
+        assert np.array_equal(result.assignments, np.argmax(sims, axis=1))
+
+
+class TestClasswiseClustering:
+    def test_returns_one_result_per_class(self):
+        samples, labels = _blobs(4, 20, 6, 5.0, 0)
+        results = classwise_clustering(samples, labels, clusters_per_class=2, rng=0)
+        assert set(results.keys()) == {0, 1, 2, 3}
+
+    def test_requested_cluster_count(self):
+        samples, labels = _blobs(3, 30, 6, 5.0, 1)
+        results = classwise_clustering(samples, labels, clusters_per_class=3, rng=1)
+        for result in results.values():
+            assert result.num_clusters == 3
+
+    def test_per_class_mapping(self):
+        samples, labels = _blobs(3, 20, 5, 5.0, 2)
+        results = classwise_clustering(
+            samples, labels, clusters_per_class={0: 1, 1: 2, 2: 3}, rng=2
+        )
+        assert results[0].num_clusters == 1
+        assert results[1].num_clusters == 2
+        assert results[2].num_clusters == 3
+
+    def test_sequence_mapping(self):
+        samples, labels = _blobs(2, 15, 5, 5.0, 3)
+        results = classwise_clustering(samples, labels, clusters_per_class=[2, 4], rng=3)
+        assert results[0].num_clusters == 2
+        assert results[1].num_clusters == 4
+
+    def test_request_clipped_to_sample_count(self):
+        samples, labels = _blobs(2, 3, 4, 5.0, 4)
+        results = classwise_clustering(samples, labels, clusters_per_class=10, rng=4)
+        for result in results.values():
+            assert result.num_clusters == 3
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            classwise_clustering(np.zeros((4, 3)), np.zeros(5), 1)
+
+    def test_deterministic(self):
+        samples, labels = _blobs(3, 20, 6, 4.0, 5)
+        a = classwise_clustering(samples, labels, 2, rng=99)
+        b = classwise_clustering(samples, labels, 2, rng=99)
+        for class_label in a:
+            assert np.allclose(a[class_label].centroids, b[class_label].centroids)

@@ -1,0 +1,166 @@
+"""Unit tests for repro.hdc.item_memory."""
+
+import numpy as np
+import pytest
+
+from repro.hdc.hypervector import bipolarize, random_bipolar_hypervectors
+from repro.hdc.item_memory import ItemMemory
+
+
+class TestContainerBasics:
+    def test_empty_memory(self):
+        memory = ItemMemory(64, rng=0)
+        assert len(memory) == 0
+        assert "x" not in memory
+        assert memory.names() == ()
+
+    def test_invalid_dimension(self):
+        with pytest.raises(ValueError):
+            ItemMemory(0)
+
+    def test_add_random_and_lookup(self):
+        memory = ItemMemory(128, rng=0)
+        vector = memory.add_random("apple")
+        assert "apple" in memory
+        assert np.array_equal(memory["apple"], vector)
+        assert memory.names() == ("apple",)
+
+    def test_add_explicit_vector(self):
+        memory = ItemMemory(8, rng=0)
+        vector = np.array([1, -1, 1, 1, -1, -1, 1, -1], dtype=np.int8)
+        memory.add("x", vector)
+        assert np.array_equal(memory.vector("x"), vector)
+
+    def test_duplicate_name_rejected(self):
+        memory = ItemMemory(16, rng=0)
+        memory.add_random("x")
+        with pytest.raises(ValueError):
+            memory.add_random("x")
+
+    def test_wrong_shape_rejected(self):
+        memory = ItemMemory(16, rng=0)
+        with pytest.raises(ValueError):
+            memory.add("x", np.ones(8, dtype=np.int8))
+
+    def test_non_bipolar_rejected(self):
+        memory = ItemMemory(4, rng=0)
+        with pytest.raises(ValueError):
+            memory.add("x", np.array([0, 1, 0, 1]))
+
+    def test_unknown_name_raises(self):
+        memory = ItemMemory(4, rng=0)
+        with pytest.raises(KeyError):
+            memory.vector("missing")
+
+    def test_get_or_create(self):
+        memory = ItemMemory(32, rng=0)
+        first = memory.get_or_create("token")
+        second = memory.get_or_create("token")
+        assert np.array_equal(first, second)
+        assert len(memory) == 1
+
+    def test_vector_returns_copy(self):
+        memory = ItemMemory(16, rng=0)
+        memory.add_random("x")
+        vector = memory.vector("x")
+        vector[:] = 1
+        assert not np.array_equal(memory.vector("x"), vector) or memory.vector("x").sum() != 16
+
+
+class TestCleanup:
+    def test_exact_item_recovered(self):
+        memory = ItemMemory(256, rng=1)
+        for name in ("a", "b", "c", "d"):
+            memory.add_random(name)
+        name, similarity = memory.cleanup(memory.vector("c").astype(float))
+        assert name == "c"
+        assert similarity == pytest.approx(1.0)
+
+    def test_noisy_item_recovered(self):
+        memory = ItemMemory(1024, rng=2)
+        for name in ("a", "b", "c", "d", "e"):
+            memory.add_random(name)
+        original = memory.vector("b").astype(np.float64)
+        noisy = original.copy()
+        flip = np.random.default_rng(0).choice(1024, size=200, replace=False)
+        noisy[flip] = -noisy[flip]  # ~20% bit flips
+        name, similarity = memory.cleanup(noisy)
+        assert name == "b"
+        assert 0.4 < similarity < 1.0
+
+    def test_cleanup_empty_memory_raises(self):
+        with pytest.raises(ValueError):
+            ItemMemory(16, rng=0).cleanup(np.ones(16))
+
+    def test_cleanup_wrong_shape_raises(self):
+        memory = ItemMemory(16, rng=0)
+        memory.add_random("x")
+        with pytest.raises(ValueError):
+            memory.cleanup(np.ones(8))
+
+    def test_cleanup_batch(self):
+        memory = ItemMemory(512, rng=3)
+        names = ["w", "x", "y", "z"]
+        for name in names:
+            memory.add_random(name)
+        queries = np.vstack([memory.vector(name) for name in reversed(names)]).astype(float)
+        assert memory.cleanup_batch(queries) == list(reversed(names))
+
+    def test_bundled_sequence_items_recoverable(self):
+        """Each constituent of a bundled sequence cleans up to itself."""
+        memory = ItemMemory(2048, rng=4)
+        bundled = memory.encode_sequence(["alpha", "beta", "gamma"])
+        # The bundle is closest to its constituents, and each constituent is
+        # recovered when queried directly.
+        for name in ("alpha", "beta", "gamma"):
+            recovered, _ = memory.cleanup(memory.vector(name).astype(float))
+            assert recovered == name
+        bundle_winner, _ = memory.cleanup(bipolarize(bundled).astype(float))
+        assert bundle_winner in ("alpha", "beta", "gamma")
+
+    def test_encode_sequence_empty_raises(self):
+        with pytest.raises(ValueError):
+            ItemMemory(16, rng=0).encode_sequence([])
+
+
+class TestExports:
+    def test_as_matrix_shape(self):
+        memory = ItemMemory(32, rng=5)
+        for index in range(4):
+            memory.add_random(f"item{index}")
+        matrix = memory.as_matrix()
+        assert matrix.shape == (4, 32)
+        assert set(np.unique(matrix)) <= {-1, 1}
+
+    def test_as_binary_matrix_is_imc_layout(self):
+        memory = ItemMemory(32, rng=6)
+        for index in range(3):
+            memory.add_random(f"item{index}")
+        binary = memory.as_binary_matrix()
+        assert binary.shape == (32, 3)
+        assert set(np.unique(binary)) <= {0, 1}
+
+    def test_as_binary_matrix_empty_raises(self):
+        with pytest.raises(ValueError):
+            ItemMemory(8, rng=0).as_binary_matrix()
+
+    def test_memory_bits(self):
+        memory = ItemMemory(64, rng=7)
+        memory.add_random("a")
+        memory.add_random("b")
+        assert memory.memory_bits() == 2 * 64
+
+    def test_cleanup_maps_onto_imc_array(self):
+        """Cleanup-by-MVM on tiled IMC arrays matches the software cleanup."""
+        from repro.imc.array import IMCArrayConfig
+        from repro.imc.mapping import tile_matrix
+
+        memory = ItemMemory(96, rng=8)
+        names = [f"sym{i}" for i in range(10)]
+        for name in names:
+            memory.add_random(name)
+        tiled = tile_matrix(memory.as_binary_matrix(), IMCArrayConfig(32, 8))
+        query_name = "sym7"
+        query_binary = (memory.vector(query_name) > 0).astype(np.float64)
+        scores = tiled.mvm(query_binary)
+        assert names[int(np.argmax(scores))] == query_name

@@ -1,0 +1,124 @@
+"""Unit tests for repro.hdc.memory_model (paper Table I formulas)."""
+
+import pytest
+
+from repro.hdc.memory_model import (
+    MemoryReport,
+    TABLE1_MODEL_FAMILIES,
+    associative_memory_bits,
+    bits_to_kib,
+    id_level_encoder_bits,
+    model_memory_report,
+    projection_encoder_bits,
+)
+
+
+class TestPrimitiveFormulas:
+    def test_projection_bits(self):
+        assert projection_encoder_bits(784, 10240) == 784 * 10240
+
+    def test_id_level_bits(self):
+        assert id_level_encoder_bits(784, 256, 10240) == (784 + 256) * 10240
+
+    def test_am_bits_single_vector_per_class(self):
+        assert associative_memory_bits(10, 10240) == 10 * 10240
+
+    def test_am_bits_with_quantization_factor(self):
+        assert associative_memory_bits(10, 8000, quantization_factor=64) == 10 * 8000 * 64
+
+    def test_bits_to_kib(self):
+        assert bits_to_kib(8 * 1024) == pytest.approx(1.0)
+        assert bits_to_kib(0) == 0.0
+
+    def test_negative_bits_raise(self):
+        with pytest.raises(ValueError):
+            bits_to_kib(-1)
+
+    @pytest.mark.parametrize("args", [(0, 10), (10, 0), (-5, 10)])
+    def test_invalid_projection_args(self, args):
+        with pytest.raises(ValueError):
+            projection_encoder_bits(*args)
+
+    def test_invalid_quantization_factor(self):
+        with pytest.raises(ValueError):
+            associative_memory_bits(10, 100, quantization_factor=0)
+
+
+class TestModelMemoryReport:
+    def test_basichdc_follows_table1(self):
+        report = model_memory_report("BasicHDC", 784, 10240, 10)
+        assert report.encoder_bits == 784 * 10240
+        assert report.am_bits == 10 * 10240
+
+    def test_memhd_follows_table1(self):
+        report = model_memory_report("MEMHD", 784, 128, 10, num_columns=128)
+        assert report.encoder_bits == 784 * 128
+        assert report.am_bits == 128 * 128
+
+    def test_memhd_requires_columns(self):
+        with pytest.raises(ValueError):
+            model_memory_report("MEMHD", 784, 128, 10)
+
+    def test_searchd_uses_quantization_factor(self):
+        report = model_memory_report("SearcHD", 617, 8000, 26, quantization_factor=64)
+        assert report.encoder_bits == (617 + 256) * 8000
+        assert report.am_bits == 26 * 8000 * 64
+
+    def test_quanthd_and_lehdc_use_id_level_encoder(self):
+        for model in ("QuantHD", "LeHDC"):
+            report = model_memory_report(model, 784, 1600, 10)
+            assert report.encoder_bits == (784 + 256) * 1600
+            assert report.am_bits == 10 * 1600
+
+    def test_case_insensitive_lookup(self):
+        report = model_memory_report("memhd", 10, 64, 4, num_columns=16)
+        assert report.model == "MEMHD"
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(ValueError):
+            model_memory_report("FooHD", 10, 64, 4)
+
+    def test_all_table1_families_supported(self):
+        for model in TABLE1_MODEL_FAMILIES:
+            kwargs = {"num_columns": 32} if model == "MEMHD" else {}
+            report = model_memory_report(model, 32, 128, 8, **kwargs)
+            assert report.total_bits > 0
+
+    def test_custom_levels(self):
+        report = model_memory_report("QuantHD", 100, 512, 5, num_levels=16)
+        assert report.encoder_bits == (100 + 16) * 512
+
+
+class TestMemoryReportProperties:
+    def test_totals_and_kib(self):
+        report = MemoryReport("MEMHD", encoder_bits=8 * 1024, am_bits=16 * 1024)
+        assert report.total_bits == 24 * 1024
+        assert report.encoder_kib == pytest.approx(1.0)
+        assert report.am_kib == pytest.approx(2.0)
+        assert report.total_kib == pytest.approx(3.0)
+
+    def test_as_dict_keys(self):
+        report = MemoryReport("X", 10, 20)
+        data = report.as_dict()
+        assert data["model"] == "X"
+        assert data["total_bits"] == 30
+        assert set(data) == {
+            "model",
+            "encoder_bits",
+            "am_bits",
+            "total_bits",
+            "encoder_kib",
+            "am_kib",
+            "total_kib",
+        }
+
+    def test_memhd_is_smaller_than_basichdc_at_paper_sizes(self):
+        """The headline memory-efficiency claim at the Table II sizes."""
+        basic = model_memory_report("BasicHDC", 784, 10240, 10)
+        memhd = model_memory_report("MEMHD", 784, 128, 10, num_columns=128)
+        assert basic.total_bits / memhd.total_bits > 50
+
+    def test_memhd_am_larger_dimension_costs_more(self):
+        small = model_memory_report("MEMHD", 784, 128, 10, num_columns=128)
+        large = model_memory_report("MEMHD", 784, 512, 10, num_columns=512)
+        assert large.total_bits > small.total_bits

@@ -1,0 +1,144 @@
+"""Unit tests for repro.imc.adc (ADC / DAC precision modelling)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import MEMHDConfig
+from repro.core.model import MEMHDModel
+from repro.imc.adc import ADCConfig, adc_energy_scale, evaluate_adc_sweep
+from repro.imc.array import IMCArrayConfig
+
+
+class TestADCConfig:
+    def test_defaults(self):
+        config = ADCConfig()
+        assert config.output_bits == 8
+        assert config.output_levels == 256
+        assert config.input_bits is None
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"output_bits": 0},
+            {"input_bits": 0},
+            {"full_scale": 0.0},
+            {"full_scale": -1.0},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            ADCConfig(**kwargs)
+
+    def test_ideal_levels_and_lsb_are_none(self):
+        config = ADCConfig(output_bits=None)
+        assert config.output_levels is None
+        assert config.lsb is None
+
+    def test_lsb_unsigned(self):
+        config = ADCConfig(output_bits=3, full_scale=7.0)
+        assert config.lsb == pytest.approx(1.0)
+
+    def test_lsb_signed_doubles_span(self):
+        config = ADCConfig(output_bits=3, full_scale=7.0, signed=True)
+        assert config.lsb == pytest.approx(2.0)
+
+
+class TestOutputQuantization:
+    def test_ideal_passthrough(self):
+        config = ADCConfig(output_bits=None)
+        sums = np.array([0.3, 5.7, 100.2])
+        assert np.array_equal(config.quantize_outputs(sums), sums)
+
+    def test_values_snap_to_codes(self):
+        config = ADCConfig(output_bits=3, full_scale=7.0)
+        quantized = config.quantize_outputs(np.array([0.4, 3.6, 6.9]))
+        assert np.allclose(quantized, [0.0, 4.0, 7.0])
+
+    def test_clipping_at_full_scale(self):
+        config = ADCConfig(output_bits=4, full_scale=10.0)
+        quantized = config.quantize_outputs(np.array([-5.0, 25.0]))
+        assert quantized[0] == pytest.approx(0.0)
+        assert quantized[1] == pytest.approx(10.0)
+
+    def test_signed_range(self):
+        config = ADCConfig(output_bits=4, full_scale=10.0, signed=True)
+        quantized = config.quantize_outputs(np.array([-12.0, -5.0, 5.0]))
+        assert quantized[0] == pytest.approx(-10.0)
+        assert -10.0 <= quantized[1] <= 0.0
+        assert 0.0 <= quantized[2] <= 10.0
+
+    def test_high_resolution_is_nearly_exact(self):
+        config = ADCConfig(output_bits=14, full_scale=128.0)
+        sums = np.random.default_rng(0).uniform(0, 128, size=50)
+        assert np.allclose(config.quantize_outputs(sums), sums, atol=0.02)
+
+    def test_quantization_error_bounded_by_half_lsb(self):
+        config = ADCConfig(output_bits=5, full_scale=100.0)
+        sums = np.random.default_rng(1).uniform(0, 100, size=200)
+        error = np.abs(config.quantize_outputs(sums) - sums)
+        assert error.max() <= config.lsb / 2 + 1e-9
+
+
+class TestInputQuantization:
+    def test_ideal_passthrough(self):
+        config = ADCConfig(input_bits=None)
+        inputs = np.array([0.1, 0.5, 0.9])
+        assert np.array_equal(config.quantize_inputs(inputs), inputs)
+
+    def test_one_bit_dac_is_binary(self):
+        config = ADCConfig(input_bits=1)
+        quantized = config.quantize_inputs(np.array([0.2, 0.6, 1.0]))
+        assert set(np.unique(quantized)) <= {0.0, 1.0}
+
+    def test_inputs_clipped_to_unit_interval(self):
+        config = ADCConfig(input_bits=4)
+        quantized = config.quantize_inputs(np.array([-0.5, 1.5]))
+        assert quantized[0] == 0.0
+        assert quantized[1] == 1.0
+
+    def test_more_bits_reduce_error(self):
+        inputs = np.random.default_rng(2).random(500)
+        coarse = ADCConfig(input_bits=2).quantize_inputs(inputs)
+        fine = ADCConfig(input_bits=8).quantize_inputs(inputs)
+        assert np.abs(fine - inputs).mean() < np.abs(coarse - inputs).mean()
+
+
+class TestADCEnergyScale:
+    def test_reference_is_unity(self):
+        assert adc_energy_scale(8) == pytest.approx(1.0)
+        assert adc_energy_scale(None) == pytest.approx(1.0)
+
+    def test_doubling_per_bit(self):
+        assert adc_energy_scale(10) == pytest.approx(4.0)
+        assert adc_energy_scale(6) == pytest.approx(0.25)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            adc_energy_scale(0)
+        with pytest.raises(ValueError):
+            adc_energy_scale(8, reference_bits=0)
+
+
+class TestEvaluateADCSweep:
+    def test_accuracy_improves_with_resolution(self, tiny_dataset):
+        model = MEMHDModel(
+            tiny_dataset.num_features,
+            tiny_dataset.num_classes,
+            MEMHDConfig(dimension=64, columns=32, epochs=4, seed=0),
+            rng=0,
+        )
+        model.fit(tiny_dataset.train_features, tiny_dataset.train_labels)
+        results = evaluate_adc_sweep(
+            model,
+            tiny_dataset.test_features,
+            tiny_dataset.test_labels,
+            bit_settings=(2, 4, 8, None),
+            array_config=IMCArrayConfig(64, 64),
+        )
+        # Ideal readout equals the software model's accuracy; low resolution
+        # can only be worse or equal.
+        ideal = results[None]
+        software = model.score(tiny_dataset.test_features, tiny_dataset.test_labels)
+        assert ideal == pytest.approx(software)
+        assert results[2] <= results[8] + 0.05
+        assert results[8] >= ideal - 0.05

@@ -1,0 +1,161 @@
+"""Unit tests for repro.imc.analysis (Table II / Fig. 7 reports)."""
+
+import pytest
+
+from repro.imc.analysis import (
+    energy_comparison,
+    full_mapping_report,
+    improvement_factors,
+    table2_rows,
+)
+from repro.imc.array import IMCArrayConfig
+
+
+@pytest.fixture(scope="module")
+def mnist_reports():
+    """Table II-(a): MNIST/FMNIST column of the paper."""
+    return full_mapping_report(
+        num_features=784,
+        num_classes=10,
+        baseline_dimension=10240,
+        memhd_dimension=128,
+        memhd_columns=128,
+        partition_counts=(5, 10),
+    )
+
+
+@pytest.fixture(scope="module")
+def isolet_reports():
+    """Table II-(b): ISOLET column of the paper."""
+    return full_mapping_report(
+        num_features=617,
+        num_classes=26,
+        baseline_dimension=10240,
+        memhd_dimension=512,
+        memhd_columns=128,
+        partition_counts=(2, 4),
+    )
+
+
+class TestTable2MNIST:
+    def test_report_count_and_order(self, mnist_reports):
+        methods = [report.method for report in mnist_reports]
+        assert methods == ["Basic", "Partitioning (P=5)", "Partitioning (P=10)", "MEMHD"]
+
+    def test_am_structures(self, mnist_reports):
+        structures = [report.am_structure for report in mnist_reports]
+        assert structures == ["10240x10", "2048x50", "1024x100", "128x128"]
+
+    def test_total_cycles(self, mnist_reports):
+        totals = [report.total_cycles for report in mnist_reports]
+        assert totals == [640, 640, 640, 8]
+
+    def test_total_arrays(self, mnist_reports):
+        totals = [report.total_arrays for report in mnist_reports]
+        assert totals == [640, 576, 568, 8]
+
+    def test_utilization(self, mnist_reports):
+        utils = [report.am_utilization for report in mnist_reports]
+        assert utils[0] == pytest.approx(0.0781, abs=1e-4)
+        assert utils[1] == pytest.approx(0.3906, abs=1e-4)
+        assert utils[2] == pytest.approx(0.7813, abs=1e-4)
+        assert utils[3] == pytest.approx(1.0)
+
+    def test_improvement_factors(self, mnist_reports):
+        factors = improvement_factors(mnist_reports)
+        assert factors["cycle_reduction"] == pytest.approx(80.0)
+        assert factors["array_reduction"] == pytest.approx(80.0)
+        assert factors["utilization_gain"] == pytest.approx(1.0 - 100 / 128)
+
+
+class TestTable2ISOLET:
+    def test_total_cycles(self, isolet_reports):
+        totals = [report.total_cycles for report in isolet_reports]
+        assert totals == [480, 480, 480, 24]
+
+    def test_total_arrays(self, isolet_reports):
+        totals = [report.total_arrays for report in isolet_reports]
+        assert totals == [480, 440, 420, 24]
+
+    def test_improvement_factors(self, isolet_reports):
+        factors = improvement_factors(isolet_reports)
+        assert factors["cycle_reduction"] == pytest.approx(20.0)
+        assert factors["array_reduction"] == pytest.approx(20.0)
+
+    def test_utilization(self, isolet_reports):
+        utils = [report.am_utilization for report in isolet_reports]
+        assert utils[0] == pytest.approx(26 / 128)
+        assert utils[-1] == pytest.approx(1.0)
+
+
+class TestReportHelpers:
+    def test_table2_rows_format(self, mnist_reports):
+        rows = table2_rows(mnist_reports)
+        assert len(rows) == 4
+        assert rows[0]["am_utilization"] == "7.81%"
+        assert rows[-1]["am_utilization"] == "100.00%"
+        assert rows[-1]["total_cycles"] == 8
+
+    def test_improvement_needs_two_reports(self, mnist_reports):
+        with pytest.raises(ValueError):
+            improvement_factors(mnist_reports[:1])
+
+    def test_custom_array_geometry(self):
+        reports = full_mapping_report(
+            num_features=784,
+            num_classes=10,
+            baseline_dimension=10240,
+            memhd_dimension=256,
+            memhd_columns=256,
+            partition_counts=(5,),
+            array=IMCArrayConfig(256, 256),
+        )
+        memhd = reports[-1]
+        assert memhd.am_cycles == 1
+        assert memhd.am_arrays == 1
+
+
+class TestEnergyComparison:
+    def _fig7_specs(self):
+        """The iso-accuracy FMNIST configurations compared in Fig. 7."""
+        return [
+            {"name": "BasicHDC 10240x10", "dimension": 10240, "num_vectors": 10},
+            {
+                "name": "BasicHDC 1024x100 (P=10)",
+                "dimension": 1024,
+                "num_vectors": 100,
+                "partitions": 10,
+            },
+            {"name": "LeHDC 400x10", "dimension": 400, "num_vectors": 10},
+            {"name": "MEMHD 128x128", "dimension": 128, "num_vectors": 128},
+        ]
+
+    def test_entries_and_normalization(self):
+        entries = energy_comparison(self._fig7_specs())
+        assert len(entries) == 4
+        assert max(entry.normalized_energy for entry in entries) == pytest.approx(100.0)
+        assert max(entry.normalized_cycles for entry in entries) == pytest.approx(100.0)
+
+    def test_memhd_is_single_cycle_single_array(self):
+        entries = {entry.model: entry for entry in energy_comparison(self._fig7_specs())}
+        memhd = entries["MEMHD 128x128"]
+        assert memhd.cycles == 1
+        assert memhd.arrays == 1
+
+    def test_partitioning_preserves_energy(self):
+        entries = {entry.model: entry for entry in energy_comparison(self._fig7_specs())}
+        assert entries["BasicHDC 10240x10"].energy_pj == pytest.approx(
+            entries["BasicHDC 1024x100 (P=10)"].energy_pj
+        )
+
+    def test_paper_efficiency_ratios(self):
+        """MEMHD is 80x more efficient than BasicHDC and 4x than LeHDC."""
+        entries = {entry.model: entry for entry in energy_comparison(self._fig7_specs())}
+        memhd = entries["MEMHD 128x128"]
+        assert entries["BasicHDC 10240x10"].energy_pj / memhd.energy_pj == pytest.approx(80.0)
+        assert entries["LeHDC 400x10"].energy_pj / memhd.energy_pj == pytest.approx(4.0)
+
+    def test_as_dict(self):
+        entry = energy_comparison(self._fig7_specs())[0]
+        data = entry.as_dict()
+        assert set(data) >= {"model", "arrays", "cycles", "normalized_energy"}

@@ -1,0 +1,135 @@
+"""Unit tests for repro.imc.array."""
+
+import numpy as np
+import pytest
+
+from repro.imc.array import IMCArray, IMCArrayConfig
+
+
+class TestIMCArrayConfig:
+    def test_defaults_match_paper(self):
+        config = IMCArrayConfig()
+        assert config.rows == 128
+        assert config.cols == 128
+        assert config.cells == 128 * 128
+        assert config.label == "128x128"
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            IMCArrayConfig(0, 128)
+        with pytest.raises(ValueError):
+            IMCArrayConfig(128, -1)
+
+    def test_frozen(self):
+        config = IMCArrayConfig()
+        with pytest.raises(Exception):
+            config.rows = 64
+
+
+class TestProgramming:
+    def test_program_full_array(self):
+        array = IMCArray(IMCArrayConfig(4, 4))
+        matrix = np.eye(4, dtype=int)
+        array.program(matrix)
+        assert np.array_equal(array.cells, matrix)
+        assert array.used_rows == 4
+        assert array.used_cols == 4
+
+    def test_program_partial_with_offset(self):
+        array = IMCArray(IMCArrayConfig(8, 8))
+        array.program(np.ones((2, 3), dtype=int), row_offset=2, col_offset=4)
+        assert array.cells[:2].sum() == 0
+        assert array.cells[2:4, 4:7].sum() == 6
+        assert array.used_rows == 2
+        assert array.used_cols == 3
+
+    def test_program_counts_writes(self):
+        array = IMCArray(IMCArrayConfig(8, 8))
+        array.program(np.zeros((3, 5), dtype=int))
+        assert array.writes == 15
+
+    def test_non_binary_matrix_rejected(self):
+        array = IMCArray(IMCArrayConfig(4, 4))
+        with pytest.raises(ValueError):
+            array.program(np.full((2, 2), 2))
+
+    def test_out_of_bounds_rejected(self):
+        array = IMCArray(IMCArrayConfig(4, 4))
+        with pytest.raises(ValueError):
+            array.program(np.ones((5, 2), dtype=int))
+        with pytest.raises(ValueError):
+            array.program(np.ones((2, 2), dtype=int), row_offset=3)
+        with pytest.raises(ValueError):
+            array.program(np.ones((2, 2), dtype=int), col_offset=-1)
+
+    def test_1d_matrix_rejected(self):
+        array = IMCArray(IMCArrayConfig(4, 4))
+        with pytest.raises(ValueError):
+            array.program(np.ones(4, dtype=int))
+
+
+class TestMVM:
+    def test_binary_mvm_counts_matching_ones(self):
+        array = IMCArray(IMCArrayConfig(4, 3))
+        weights = np.array([[1, 0, 1], [0, 1, 1], [1, 1, 0], [0, 0, 1]])
+        array.program(weights)
+        inputs = np.array([1, 1, 0, 1])
+        expected = inputs @ weights
+        assert np.array_equal(array.mvm(inputs), expected)
+
+    def test_real_valued_inputs(self):
+        array = IMCArray(IMCArrayConfig(3, 2))
+        weights = np.array([[1, 0], [1, 1], [0, 1]])
+        array.program(weights)
+        inputs = np.array([0.5, 0.25, 2.0])
+        assert np.allclose(array.mvm(inputs), inputs @ weights)
+
+    def test_mvm_counts_activations(self):
+        array = IMCArray(IMCArrayConfig(4, 4))
+        array.program(np.ones((4, 4), dtype=int))
+        array.mvm(np.ones(4))
+        array.mvm(np.ones(4))
+        assert array.activations == 2
+
+    def test_mvm_batch(self):
+        array = IMCArray(IMCArrayConfig(4, 3))
+        weights = np.random.default_rng(0).integers(0, 2, size=(4, 3))
+        array.program(weights)
+        inputs = np.random.default_rng(1).integers(0, 2, size=(5, 4)).astype(float)
+        assert np.allclose(array.mvm_batch(inputs), inputs @ weights)
+        assert array.activations == 5
+
+    def test_wrong_input_length_rejected(self):
+        array = IMCArray(IMCArrayConfig(4, 4))
+        with pytest.raises(ValueError):
+            array.mvm(np.ones(5))
+        with pytest.raises(ValueError):
+            array.mvm_batch(np.ones((2, 5)))
+
+    def test_unprogrammed_cells_contribute_zero(self):
+        array = IMCArray(IMCArrayConfig(4, 4))
+        array.program(np.ones((2, 2), dtype=int))
+        result = array.mvm(np.ones(4))
+        assert np.array_equal(result, [2, 2, 0, 0])
+
+
+class TestUtilization:
+    def test_column_utilization(self):
+        array = IMCArray(IMCArrayConfig(8, 10))
+        array.program(np.ones((8, 4), dtype=int))
+        assert array.column_utilization == pytest.approx(0.4)
+
+    def test_cell_utilization(self):
+        array = IMCArray(IMCArrayConfig(4, 4))
+        array.program(np.ones((2, 2), dtype=int))
+        assert array.cell_utilization == pytest.approx(4 / 16)
+
+    def test_reset_counters(self):
+        array = IMCArray(IMCArrayConfig(4, 4))
+        array.program(np.ones((4, 4), dtype=int))
+        array.mvm(np.ones(4))
+        array.reset_counters()
+        assert array.activations == 0
+        assert array.writes == 0
+        # Cells themselves are not erased.
+        assert array.cells.sum() == 16

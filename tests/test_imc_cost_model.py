@@ -1,0 +1,116 @@
+"""Unit tests for repro.imc.cost_model."""
+
+import pytest
+
+from repro.imc.array import IMCArrayConfig
+from repro.imc.cost_model import CostModel, IMCCostParameters
+from repro.imc.mapping import (
+    analyze_am_mapping,
+    basic_am_structure,
+    memhd_am_structure,
+    partitioned_am_structure,
+)
+
+ARRAY = IMCArrayConfig(128, 128)
+
+
+class TestIMCCostParameters:
+    def test_defaults_positive(self):
+        params = IMCCostParameters()
+        assert params.mvm_energy_pj > 0
+        assert params.cycle_latency_ns > 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"mvm_energy_pj": 0},
+            {"cycle_latency_ns": -1},
+            {"write_energy_pj_per_cell": 0},
+            {"leakage_power_uw": 0},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            IMCCostParameters(**kwargs)
+
+    def test_energy_scales_with_cell_count(self):
+        params = IMCCostParameters()
+        full = params.scaled_mvm_energy(IMCArrayConfig(128, 128))
+        quarter = params.scaled_mvm_energy(IMCArrayConfig(64, 64))
+        assert full == pytest.approx(4 * quarter)
+
+    def test_latency_scales_with_rows(self):
+        params = IMCCostParameters()
+        assert params.scaled_latency(IMCArrayConfig(256, 128)) == pytest.approx(
+            2 * params.cycle_latency_ns
+        )
+
+
+class TestCostModel:
+    def test_energy_proportional_to_cycles(self):
+        model = CostModel()
+        basic = model.inference_cost(
+            analyze_am_mapping(basic_am_structure(10240, 10), ARRAY)
+        )
+        memhd = model.inference_cost(
+            analyze_am_mapping(memhd_am_structure(128, 128), ARRAY)
+        )
+        assert basic.energy_pj / memhd.energy_pj == pytest.approx(80.0)
+        assert basic.latency_ns / memhd.latency_ns == pytest.approx(80.0)
+
+    def test_partitioning_keeps_energy_constant(self):
+        """The Fig. 7 observation: partitioning trades arrays for cycles."""
+        model = CostModel()
+        costs = [
+            model.inference_cost(
+                analyze_am_mapping(partitioned_am_structure(10240, 10, p), ARRAY)
+            )
+            for p in (1, 5, 10)
+        ]
+        energies = {round(cost.energy_pj, 6) for cost in costs}
+        assert len(energies) == 1
+        arrays = [cost.arrays for cost in costs]
+        assert arrays[0] > arrays[1] > arrays[2]
+
+    def test_programming_energy_scales_with_arrays(self):
+        model = CostModel()
+        basic = model.inference_cost(
+            analyze_am_mapping(basic_am_structure(10240, 10), ARRAY)
+        )
+        memhd = model.inference_cost(
+            analyze_am_mapping(memhd_am_structure(128, 128), ARRAY)
+        )
+        assert basic.programming_energy_pj == pytest.approx(
+            80 * memhd.programming_energy_pj
+        )
+
+    def test_total_inference_cost_sums_em_and_am(self):
+        from repro.imc.mapping import analyze_em_mapping
+
+        model = CostModel()
+        em = analyze_em_mapping(784, 128, ARRAY)
+        am = analyze_am_mapping(memhd_am_structure(128, 128), ARRAY)
+        total = model.total_inference_cost(em, am)
+        assert total.cycles == em.cycles + am.cycles == 8
+        assert total.energy_pj == pytest.approx(
+            model.inference_cost(em).energy_pj + model.inference_cost(am).energy_pj
+        )
+
+    def test_as_dict(self):
+        model = CostModel()
+        cost = model.inference_cost(
+            analyze_am_mapping(memhd_am_structure(128, 128), ARRAY)
+        )
+        data = cost.as_dict()
+        assert data["cycles"] == 1
+        assert data["arrays"] == 1
+        assert data["energy_pj"] > 0
+
+    def test_custom_parameters_respected(self):
+        params = IMCCostParameters(mvm_energy_pj=2.0, cycle_latency_ns=10.0)
+        model = CostModel(parameters=params)
+        cost = model.inference_cost(
+            analyze_am_mapping(memhd_am_structure(128, 128), ARRAY)
+        )
+        assert cost.energy_pj == pytest.approx(2.0)
+        assert cost.latency_ns == pytest.approx(10.0)

@@ -1,0 +1,220 @@
+"""Unit tests for repro.imc.mapping (analytical Table II model + tiling)."""
+
+import numpy as np
+import pytest
+
+from repro.imc.array import IMCArrayConfig
+from repro.imc.mapping import (
+    AMStructure,
+    analyze_am_mapping,
+    analyze_em_mapping,
+    basic_am_structure,
+    memhd_am_structure,
+    partitioned_am_structure,
+    tile_matrix,
+)
+
+ARRAY = IMCArrayConfig(128, 128)
+
+
+class TestAMStructures:
+    def test_basic_structure(self):
+        structure = basic_am_structure(10240, 10)
+        assert structure.dimension == 10240
+        assert structure.num_vectors == 10
+        assert structure.partitions == 1
+        assert structure.structure_label == "10240x10"
+
+    def test_partitioned_structure(self):
+        structure = partitioned_am_structure(10240, 10, 5)
+        assert structure.dimension == 2048
+        assert structure.num_vectors == 50
+        assert structure.original_dimension == 10240
+        assert structure.structure_label == "2048x50"
+
+    def test_partition_must_divide_dimension(self):
+        with pytest.raises(ValueError):
+            partitioned_am_structure(10240, 10, 3)
+
+    def test_memhd_structure(self):
+        structure = memhd_am_structure(128, 128)
+        assert structure.structure_label == "128x128"
+        assert structure.label == "MEMHD"
+
+    def test_invalid_values(self):
+        with pytest.raises(ValueError):
+            AMStructure(0, 10)
+        with pytest.raises(ValueError):
+            AMStructure(10, 0)
+        with pytest.raises(ValueError):
+            AMStructure(10, 10, partitions=0)
+        with pytest.raises(ValueError):
+            partitioned_am_structure(128, 10, 0)
+
+
+class TestTable2MNISTNumbers:
+    """The exact Table II-(a) numbers for MNIST/FMNIST on 128x128 arrays."""
+
+    def test_basic_mapping(self):
+        analysis = analyze_am_mapping(basic_am_structure(10240, 10), ARRAY)
+        assert analysis.cycles == 80
+        assert analysis.arrays == 80
+        assert analysis.utilization == pytest.approx(10 / 128)
+
+    def test_partition_5(self):
+        analysis = analyze_am_mapping(partitioned_am_structure(10240, 10, 5), ARRAY)
+        assert analysis.cycles == 80
+        assert analysis.arrays == 16
+        assert analysis.utilization == pytest.approx(50 / 128)
+
+    def test_partition_10(self):
+        analysis = analyze_am_mapping(partitioned_am_structure(10240, 10, 10), ARRAY)
+        assert analysis.cycles == 80
+        assert analysis.arrays == 8
+        assert analysis.utilization == pytest.approx(100 / 128)
+
+    def test_memhd(self):
+        analysis = analyze_am_mapping(memhd_am_structure(128, 128), ARRAY)
+        assert analysis.cycles == 1
+        assert analysis.arrays == 1
+        assert analysis.utilization == pytest.approx(1.0)
+
+    def test_em_basic(self):
+        analysis = analyze_em_mapping(784, 10240, ARRAY)
+        assert analysis.cycles == 560
+        assert analysis.arrays == 560
+
+    def test_em_memhd(self):
+        analysis = analyze_em_mapping(784, 128, ARRAY)
+        assert analysis.cycles == 7
+        assert analysis.arrays == 7
+
+
+class TestTable2ISOLETNumbers:
+    """The exact Table II-(b) numbers for ISOLET on 128x128 arrays."""
+
+    def test_basic_mapping(self):
+        analysis = analyze_am_mapping(basic_am_structure(10240, 26), ARRAY)
+        assert analysis.cycles == 80
+        assert analysis.arrays == 80
+        assert analysis.utilization == pytest.approx(26 / 128)
+
+    def test_partition_2(self):
+        analysis = analyze_am_mapping(partitioned_am_structure(10240, 26, 2), ARRAY)
+        assert analysis.cycles == 80
+        assert analysis.arrays == 40
+        assert analysis.utilization == pytest.approx(52 / 128)
+
+    def test_partition_4(self):
+        analysis = analyze_am_mapping(partitioned_am_structure(10240, 26, 4), ARRAY)
+        assert analysis.cycles == 80
+        assert analysis.arrays == 20
+        assert analysis.utilization == pytest.approx(104 / 128)
+
+    def test_memhd_512x128(self):
+        analysis = analyze_am_mapping(memhd_am_structure(512, 128), ARRAY)
+        assert analysis.cycles == 4
+        assert analysis.arrays == 4
+        assert analysis.utilization == pytest.approx(1.0)
+
+    def test_em_basic(self):
+        analysis = analyze_em_mapping(617, 10240, ARRAY)
+        assert analysis.cycles == 400
+
+    def test_em_memhd(self):
+        analysis = analyze_em_mapping(617, 512, ARRAY)
+        assert analysis.cycles == 20
+
+
+class TestAnalyticalEdgeCases:
+    def test_more_columns_than_array(self):
+        analysis = analyze_am_mapping(AMStructure(128, 300, label="wide"), ARRAY)
+        assert analysis.col_tiles == 3
+        assert analysis.arrays == 3
+        assert analysis.cycles == 3
+        assert analysis.utilization == pytest.approx(300 / 384)
+
+    def test_small_array_geometry(self):
+        small = IMCArrayConfig(64, 32)
+        analysis = analyze_am_mapping(memhd_am_structure(128, 64), small)
+        assert analysis.row_tiles == 2
+        assert analysis.col_tiles == 2
+        assert analysis.arrays == 4
+        assert analysis.cycles == 4
+
+    def test_em_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            analyze_em_mapping(0, 128, ARRAY)
+        with pytest.raises(ValueError):
+            analyze_em_mapping(128, 0, ARRAY)
+
+    def test_as_dict(self):
+        analysis = analyze_am_mapping(memhd_am_structure(128, 128), ARRAY)
+        data = analysis.as_dict()
+        assert data["cycles"] == 1
+        assert data["label"] == "MEMHD"
+
+
+class TestTiledMatrix:
+    def test_tile_counts(self):
+        matrix = np.random.default_rng(0).integers(0, 2, size=(300, 70))
+        tiled = tile_matrix(matrix, IMCArrayConfig(128, 64))
+        assert tiled.num_arrays == 3 * 2
+        assert tiled.cycles_per_mvm == 6
+
+    def test_stored_matrix_roundtrip(self):
+        matrix = np.random.default_rng(1).integers(0, 2, size=(100, 50))
+        tiled = tile_matrix(matrix, IMCArrayConfig(32, 32))
+        assert np.array_equal(tiled.stored_matrix(), matrix)
+
+    def test_mvm_matches_direct_product(self):
+        matrix = np.random.default_rng(2).integers(0, 2, size=(200, 40))
+        tiled = tile_matrix(matrix, IMCArrayConfig(64, 16))
+        inputs = np.random.default_rng(3).integers(0, 2, size=200).astype(float)
+        assert np.allclose(tiled.mvm(inputs), inputs @ matrix)
+
+    def test_mvm_batch_matches_direct_product(self):
+        matrix = np.random.default_rng(4).integers(0, 2, size=(90, 30))
+        tiled = tile_matrix(matrix, IMCArrayConfig(32, 32))
+        inputs = np.random.default_rng(5).random((7, 90))
+        assert np.allclose(tiled.mvm_batch(inputs), inputs @ matrix)
+
+    def test_cycles_executed_accumulate(self):
+        matrix = np.random.default_rng(6).integers(0, 2, size=(60, 60))
+        tiled = tile_matrix(matrix, IMCArrayConfig(32, 32))
+        tiled.mvm(np.zeros(60))
+        assert tiled.cycles_executed == tiled.cycles_per_mvm
+        tiled.mvm_batch(np.zeros((3, 60)))
+        assert tiled.cycles_executed == tiled.cycles_per_mvm * 4
+
+    def test_column_utilization(self):
+        matrix = np.zeros((10, 40), dtype=int)
+        tiled = tile_matrix(matrix, IMCArrayConfig(16, 32))
+        assert tiled.column_utilization() == pytest.approx(40 / 64)
+
+    def test_wrong_input_length_raises(self):
+        tiled = tile_matrix(np.zeros((8, 8), dtype=int), IMCArrayConfig(8, 8))
+        with pytest.raises(ValueError):
+            tiled.mvm(np.zeros(9))
+        with pytest.raises(ValueError):
+            tiled.mvm_batch(np.zeros((2, 9)))
+
+    def test_non_binary_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            tile_matrix(np.full((4, 4), 3), IMCArrayConfig(8, 8))
+
+    def test_1d_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            tile_matrix(np.zeros(4), IMCArrayConfig(8, 8))
+
+    def test_analytical_and_physical_models_agree(self):
+        """The tiled AM's cycle count equals the analytical arrays count."""
+        dimension, columns = 200, 150
+        matrix = np.random.default_rng(7).integers(0, 2, size=(dimension, columns))
+        tiled = tile_matrix(matrix, ARRAY)
+        analysis = analyze_am_mapping(
+            AMStructure(dimension, columns, label="check"), ARRAY
+        )
+        assert tiled.num_arrays == analysis.arrays
+        assert tiled.cycles_per_mvm == analysis.cycles
+        assert tiled.column_utilization() == pytest.approx(analysis.utilization)

@@ -1,0 +1,118 @@
+"""Unit tests for repro.imc.noise."""
+
+import numpy as np
+import pytest
+
+from repro.imc.noise import NoiseModel, apply_stuck_at_faults, flip_bits
+
+
+class TestFlipBits:
+    def test_zero_probability_is_identity(self):
+        matrix = np.random.default_rng(0).integers(0, 2, size=(20, 20))
+        assert np.array_equal(flip_bits(matrix, 0.0, rng=1), matrix)
+
+    def test_probability_one_inverts_everything(self):
+        matrix = np.random.default_rng(1).integers(0, 2, size=(20, 20))
+        assert np.array_equal(flip_bits(matrix, 1.0, rng=2), 1 - matrix)
+
+    def test_flip_rate_close_to_probability(self):
+        matrix = np.zeros((200, 200), dtype=np.int8)
+        flipped = flip_bits(matrix, 0.1, rng=3)
+        assert 0.08 < flipped.mean() < 0.12
+
+    def test_output_stays_binary(self):
+        matrix = np.random.default_rng(2).integers(0, 2, size=(30, 30))
+        flipped = flip_bits(matrix, 0.5, rng=4)
+        assert set(np.unique(flipped)) <= {0, 1}
+
+    def test_deterministic_with_seed(self):
+        matrix = np.random.default_rng(3).integers(0, 2, size=(10, 10))
+        assert np.array_equal(flip_bits(matrix, 0.3, rng=7), flip_bits(matrix, 0.3, rng=7))
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            flip_bits(np.zeros((2, 2), dtype=int), 1.5)
+
+    def test_non_binary_input_rejected(self):
+        with pytest.raises(ValueError):
+            flip_bits(np.full((2, 2), 2), 0.1)
+
+    def test_input_not_mutated(self):
+        matrix = np.zeros((10, 10), dtype=np.int8)
+        flip_bits(matrix, 0.9, rng=5)
+        assert matrix.sum() == 0
+
+
+class TestStuckAtFaults:
+    def test_stuck_at_one_only(self):
+        matrix = np.zeros((100, 100), dtype=np.int8)
+        faulty = apply_stuck_at_faults(matrix, 0.0, 0.2, rng=0)
+        assert 0.15 < faulty.mean() < 0.25
+
+    def test_stuck_at_zero_only(self):
+        matrix = np.ones((100, 100), dtype=np.int8)
+        faulty = apply_stuck_at_faults(matrix, 0.2, 0.0, rng=1)
+        assert 0.75 < faulty.mean() < 0.85
+
+    def test_no_faults_is_identity(self):
+        matrix = np.random.default_rng(2).integers(0, 2, size=(10, 10))
+        assert np.array_equal(apply_stuck_at_faults(matrix, 0.0, 0.0, rng=3), matrix)
+
+    def test_invalid_probabilities(self):
+        with pytest.raises(ValueError):
+            apply_stuck_at_faults(np.zeros((2, 2), dtype=int), 0.6, 0.6)
+        with pytest.raises(ValueError):
+            apply_stuck_at_faults(np.zeros((2, 2), dtype=int), -0.1, 0.0)
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(ValueError):
+            apply_stuck_at_faults(np.full((2, 2), 5), 0.1, 0.1)
+
+
+class TestNoiseModel:
+    def test_defaults_are_ideal(self):
+        assert NoiseModel().is_ideal
+
+    def test_non_ideal_detection(self):
+        assert not NoiseModel(bit_flip_probability=0.01).is_ideal
+        assert not NoiseModel(read_noise_sigma=1.0).is_ideal
+        assert not NoiseModel(stuck_at_one_probability=0.05).is_ideal
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"bit_flip_probability": -0.1},
+            {"bit_flip_probability": 1.1},
+            {"read_noise_sigma": -1.0},
+            {"stuck_at_zero_probability": 0.7, "stuck_at_one_probability": 0.6},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            NoiseModel(**kwargs)
+
+    def test_corrupt_memory_ideal_is_copy(self):
+        matrix = np.random.default_rng(0).integers(0, 2, size=(10, 10))
+        result = NoiseModel().corrupt_memory(matrix, rng=0)
+        assert np.array_equal(result, matrix)
+
+    def test_corrupt_memory_applies_flips(self):
+        matrix = np.zeros((50, 50), dtype=np.int8)
+        corrupted = NoiseModel(bit_flip_probability=0.2).corrupt_memory(matrix, rng=1)
+        assert corrupted.sum() > 0
+
+    def test_corrupt_readout_ideal_passthrough(self):
+        sums = np.arange(10.0)
+        assert np.array_equal(NoiseModel().corrupt_readout(sums, rng=0), sums)
+
+    def test_corrupt_readout_adds_noise(self):
+        sums = np.zeros(1000)
+        noisy = NoiseModel(read_noise_sigma=2.0).corrupt_readout(sums, rng=2)
+        assert 1.5 < noisy.std() < 2.5
+
+    def test_combined_corruption_deterministic(self):
+        matrix = np.random.default_rng(3).integers(0, 2, size=(20, 20))
+        model = NoiseModel(bit_flip_probability=0.1, stuck_at_one_probability=0.05)
+        a = model.corrupt_memory(matrix, rng=9)
+        b = model.corrupt_memory(matrix, rng=9)
+        assert np.array_equal(a, b)

@@ -1,0 +1,127 @@
+"""Unit tests for repro.imc.scheduler."""
+
+import pytest
+
+from repro.imc.array import IMCArrayConfig
+from repro.imc.mapping import (
+    analyze_am_mapping,
+    analyze_em_mapping,
+    basic_am_structure,
+    memhd_am_structure,
+)
+from repro.imc.scheduler import AcceleratorScheduler
+
+ARRAY = IMCArrayConfig(128, 128)
+
+
+def mnist_basic_mappings():
+    """EM and AM mappings of the BasicHDC 10240D MNIST configuration."""
+    em = analyze_em_mapping(784, 10240, ARRAY)
+    am = analyze_am_mapping(basic_am_structure(10240, 10), ARRAY)
+    return em, am
+
+
+def mnist_memhd_mappings():
+    """EM and AM mappings of the MEMHD 128x128 MNIST configuration."""
+    em = analyze_em_mapping(784, 128, ARRAY)
+    am = analyze_am_mapping(memhd_am_structure(128, 128), ARRAY)
+    return em, am
+
+
+class TestConstruction:
+    def test_invalid_pool_size(self):
+        with pytest.raises(ValueError):
+            AcceleratorScheduler(0)
+
+    def test_stage_cycles(self):
+        scheduler = AcceleratorScheduler(4, ARRAY)
+        assert scheduler.stage_cycles(0) == 0
+        assert scheduler.stage_cycles(1) == 1
+        assert scheduler.stage_cycles(4) == 1
+        assert scheduler.stage_cycles(5) == 2
+        assert scheduler.stage_cycles(9) == 3
+
+    def test_stage_cycles_negative(self):
+        with pytest.raises(ValueError):
+            AcceleratorScheduler(2, ARRAY).stage_cycles(-1)
+
+
+class TestSchedule:
+    def test_single_array_matches_table2_totals(self):
+        """A pool of one array reproduces the Table II sequential cycles."""
+        em, am = mnist_basic_mappings()
+        report = AcceleratorScheduler(1, ARRAY).schedule(em, am)
+        assert report.latency_cycles == 640
+        em2, am2 = mnist_memhd_mappings()
+        report2 = AcceleratorScheduler(1, ARRAY).schedule(em2, am2)
+        assert report2.latency_cycles == 8
+
+    def test_more_arrays_reduce_latency(self):
+        em, am = mnist_basic_mappings()
+        latencies = [
+            AcceleratorScheduler(pool, ARRAY).schedule(em, am).latency_cycles
+            for pool in (1, 8, 64, 640)
+        ]
+        assert latencies == sorted(latencies, reverse=True)
+        # With one array per tile only the stage dependency remains.
+        assert latencies[-1] == 2
+
+    def test_memhd_needs_a_small_pool_for_minimum_latency(self):
+        em, am = mnist_memhd_mappings()
+        report = AcceleratorScheduler(7, ARRAY).schedule(em, am)
+        assert report.latency_cycles == 2  # 7 EM tiles in one go + 1 AM cycle
+
+    def test_throughput_limited_by_bottleneck_stage(self):
+        em, am = mnist_memhd_mappings()
+        report = AcceleratorScheduler(1, ARRAY).schedule(em, am)
+        # EM needs 7 cycles, AM 1 -> bottleneck is encoding.
+        assert report.bottleneck == "encoding"
+        assert report.throughput_per_kcycle == pytest.approx(1000.0 / 7)
+
+    def test_energy_independent_of_pool_size(self):
+        em, am = mnist_basic_mappings()
+        small = AcceleratorScheduler(1, ARRAY).schedule(em, am)
+        large = AcceleratorScheduler(64, ARRAY).schedule(em, am)
+        assert small.energy_pj_per_inference == pytest.approx(
+            large.energy_pj_per_inference
+        )
+
+    def test_memhd_uses_less_energy_than_basic(self):
+        basic = AcceleratorScheduler(8, ARRAY).schedule(*mnist_basic_mappings())
+        memhd = AcceleratorScheduler(8, ARRAY).schedule(*mnist_memhd_mappings())
+        assert memhd.energy_pj_per_inference < basic.energy_pj_per_inference / 50
+
+    def test_as_dict(self):
+        report = AcceleratorScheduler(2, ARRAY).schedule(*mnist_memhd_mappings())
+        data = report.as_dict()
+        assert data["num_arrays"] == 2
+        assert data["latency_cycles"] == report.latency_cycles
+
+    def test_schedule_model_convenience(self):
+        report = AcceleratorScheduler(4, ARRAY).schedule_model(
+            784, 128, memhd_am_structure(128, 128)
+        )
+        assert report.em_tiles == 7
+        assert report.am_tiles == 1
+
+
+class TestArraysNeededForLatency:
+    def test_exact_pool_for_two_cycle_latency(self):
+        em, am = mnist_memhd_mappings()
+        scheduler = AcceleratorScheduler(1, ARRAY)
+        assert scheduler.arrays_needed_for_latency(em, am, target_cycles=2) == 7
+        assert scheduler.arrays_needed_for_latency(em, am, target_cycles=8) == 1
+
+    def test_impossible_target_raises(self):
+        em, am = mnist_memhd_mappings()
+        scheduler = AcceleratorScheduler(1, ARRAY)
+        with pytest.raises(ValueError):
+            scheduler.arrays_needed_for_latency(em, am, target_cycles=1)
+        with pytest.raises(ValueError):
+            scheduler.arrays_needed_for_latency(em, am, target_cycles=0)
+
+    def test_basic_mapping_needs_many_arrays_for_low_latency(self):
+        em, am = mnist_basic_mappings()
+        scheduler = AcceleratorScheduler(1, ARRAY)
+        pool = scheduler.arrays_needed_for_latency(em, am, target_cycles=3)
+        assert pool >= 280  # 560 EM tiles over 2 cycles needs >= 280 arrays

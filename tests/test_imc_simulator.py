@@ -1,0 +1,188 @@
+"""Unit tests for repro.imc.simulator (functional in-memory inference)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import MEMHDConfig
+from repro.core.model import MEMHDModel
+from repro.imc.array import IMCArrayConfig
+from repro.imc.noise import NoiseModel
+from repro.imc.simulator import InMemoryInference
+
+
+@pytest.fixture(scope="module")
+def engine_and_model(tiny_dataset):
+    model = MEMHDModel(
+        tiny_dataset.num_features,
+        tiny_dataset.num_classes,
+        MEMHDConfig(dimension=64, columns=32, epochs=5, seed=42),
+        rng=42,
+    )
+    model.fit(tiny_dataset.train_features, tiny_dataset.train_labels)
+    engine = InMemoryInference(model, IMCArrayConfig(32, 32))
+    return engine, model
+
+
+class TestConstruction:
+    def test_unfitted_model_rejected(self, tiny_dataset):
+        model = MEMHDModel(
+            tiny_dataset.num_features,
+            tiny_dataset.num_classes,
+            MEMHDConfig(dimension=32, columns=8),
+        )
+        with pytest.raises(RuntimeError):
+            InMemoryInference(model)
+
+    def test_default_array_is_128x128(self, engine_and_model, tiny_dataset):
+        _, model = engine_and_model
+        engine = InMemoryInference(model)
+        assert engine.array_config.label == "128x128"
+
+
+class TestBitExactness:
+    def test_encoding_matches_software_encoder(self, engine_and_model, tiny_dataset):
+        engine, model = engine_and_model
+        features = tiny_dataset.test_features[:20]
+        assert np.array_equal(engine.encode(features), model.encode_binary(features))
+
+    def test_single_feature_vector_encoding(self, engine_and_model, tiny_dataset):
+        engine, model = engine_and_model
+        single = engine.encode(tiny_dataset.test_features[0])
+        assert single.shape == (64,)
+        assert np.array_equal(single, model.encode_binary(tiny_dataset.test_features[0]))
+
+    def test_associative_search_matches_am_scores(self, engine_and_model, tiny_dataset):
+        engine, model = engine_and_model
+        queries = model.encode_binary(tiny_dataset.test_features[:10]).astype(float)
+        expected = model.associative_memory.scores(queries)
+        assert np.allclose(engine.associative_search(queries), expected)
+
+    def test_predictions_match_software_model(self, engine_and_model, tiny_dataset):
+        engine, model = engine_and_model
+        features = tiny_dataset.test_features
+        assert np.array_equal(engine.predict(features), model.predict(features))
+
+    def test_matches_software_model_helper(self, engine_and_model, tiny_dataset):
+        engine, _ = engine_and_model
+        assert engine.matches_software_model(tiny_dataset.test_features[:30])
+
+    def test_match_helper_rejects_noisy_engine(self, engine_and_model, tiny_dataset):
+        _, model = engine_and_model
+        noisy = InMemoryInference(
+            model, IMCArrayConfig(32, 32), noise=NoiseModel(bit_flip_probability=0.05),
+            rng=0,
+        )
+        with pytest.raises(ValueError):
+            noisy.matches_software_model(tiny_dataset.test_features[:5])
+
+    def test_different_array_geometries_give_same_predictions(
+        self, engine_and_model, tiny_dataset
+    ):
+        _, model = engine_and_model
+        features = tiny_dataset.test_features[:30]
+        predictions = [
+            InMemoryInference(model, IMCArrayConfig(rows, cols)).predict(features)
+            for rows, cols in ((16, 16), (64, 64), (128, 128), (48, 24))
+        ]
+        for other in predictions[1:]:
+            assert np.array_equal(predictions[0], other)
+
+
+class TestStats:
+    def test_stats_match_analytical_model(self, engine_and_model):
+        engine, model = engine_and_model
+        stats = engine.stats()
+        # EM is 24x64 on a 32x32 array -> ceil(24/32)=1 row tile, 2 col tiles.
+        assert stats.em_arrays == 2
+        assert stats.em_cycles_per_inference == 2
+        # AM is 64x32 -> 2 row tiles, 1 col tile.
+        assert stats.am_arrays == 2
+        assert stats.am_cycles_per_inference == 2
+        assert stats.total_arrays == 4
+        assert stats.total_cycles_per_inference == 4
+        assert stats.am_column_utilization == pytest.approx(1.0)
+
+    def test_stats_as_dict(self, engine_and_model):
+        engine, _ = engine_and_model
+        data = engine.stats().as_dict()
+        assert data["array"] == "32x32"
+        assert data["total_cycles"] == data["em_cycles"] + data["am_cycles"]
+
+    def test_memhd_on_matched_array_is_single_cycle_am(self, tiny_dataset):
+        model = MEMHDModel(
+            tiny_dataset.num_features,
+            tiny_dataset.num_classes,
+            MEMHDConfig(dimension=32, columns=32, epochs=2, seed=1),
+            rng=1,
+        )
+        model.fit(tiny_dataset.train_features, tiny_dataset.train_labels)
+        engine = InMemoryInference(model, IMCArrayConfig(32, 32))
+        stats = engine.stats()
+        assert stats.am_arrays == 1
+        assert stats.am_cycles_per_inference == 1
+        assert stats.am_column_utilization == pytest.approx(1.0)
+
+    def test_wrong_feature_count_raises(self, engine_and_model):
+        engine, _ = engine_and_model
+        with pytest.raises(ValueError):
+            engine.encode(np.zeros((2, 99)))
+
+
+class TestNoiseInjection:
+    def test_heavy_bit_flips_degrade_accuracy(self, engine_and_model, tiny_dataset):
+        engine, model = engine_and_model
+        clean_accuracy = float(
+            np.mean(engine.predict(tiny_dataset.test_features) == tiny_dataset.test_labels)
+        )
+        noisy = InMemoryInference(
+            model,
+            IMCArrayConfig(32, 32),
+            noise=NoiseModel(bit_flip_probability=0.45),
+            rng=3,
+        )
+        noisy_accuracy = float(
+            np.mean(noisy.predict(tiny_dataset.test_features) == tiny_dataset.test_labels)
+        )
+        assert noisy_accuracy <= clean_accuracy
+
+    def test_degradation_is_graceful_in_flip_rate(self, engine_and_model, tiny_dataset):
+        """HDC's noise robustness: prediction agreement degrades gracefully."""
+        engine, model = engine_and_model
+        clean = engine.predict(tiny_dataset.test_features)
+
+        def agreement(flip_probability: float) -> float:
+            noisy_engine = InMemoryInference(
+                model,
+                IMCArrayConfig(32, 32),
+                noise=NoiseModel(bit_flip_probability=flip_probability),
+                rng=5,
+            )
+            noisy = noisy_engine.predict(tiny_dataset.test_features)
+            return float(np.mean(clean == noisy))
+
+        mild = agreement(0.01)
+        severe = agreement(0.40)
+        assert mild > 0.6
+        assert mild >= severe
+
+    def test_read_noise_is_applied(self, engine_and_model, tiny_dataset):
+        _, model = engine_and_model
+        engine = InMemoryInference(
+            model,
+            IMCArrayConfig(32, 32),
+            noise=NoiseModel(read_noise_sigma=0.5),
+            rng=7,
+        )
+        queries = model.encode_binary(tiny_dataset.test_features[:5]).astype(float)
+        scores_a = engine.associative_search(queries)
+        scores_b = engine.associative_search(queries)
+        # Independent read noise means two reads of the same query differ.
+        assert not np.allclose(scores_a, scores_b)
+
+    def test_noise_injection_deterministic_given_seed(self, engine_and_model, tiny_dataset):
+        _, model = engine_and_model
+        noise = NoiseModel(bit_flip_probability=0.1)
+        a = InMemoryInference(model, IMCArrayConfig(32, 32), noise=noise, rng=11)
+        b = InMemoryInference(model, IMCArrayConfig(32, 32), noise=noise, rng=11)
+        features = tiny_dataset.test_features[:20]
+        assert np.array_equal(a.predict(features), b.predict(features))

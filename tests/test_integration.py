@@ -1,0 +1,217 @@
+"""Integration tests: end-to-end pipelines across multiple subsystems."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BasicHDC,
+    BasicHDCConfig,
+    LeHDC,
+    LeHDCConfig,
+    QuantHD,
+    QuantHDConfig,
+    SearcHD,
+    SearcHDConfig,
+)
+from repro.core.config import MEMHDConfig
+from repro.core.model import MEMHDModel
+from repro.data.datasets import load_dataset
+from repro.eval.experiments import evaluate_classifier
+from repro.imc.analysis import full_mapping_report, improvement_factors
+from repro.imc.array import IMCArrayConfig
+from repro.imc.simulator import InMemoryInference
+
+
+class TestEndToEndOnPaperDatasets:
+    """Tiny-scale runs of the paper's datasets through the full pipeline."""
+
+    @pytest.mark.parametrize("name", ["mnist", "fmnist"])
+    def test_memhd_pipeline_on_image_profiles(self, name):
+        dataset = load_dataset(name, scale=0.01)
+        model = MEMHDModel(
+            dataset.num_features,
+            dataset.num_classes,
+            MEMHDConfig(dimension=128, columns=64, epochs=6, seed=0),
+            rng=0,
+        )
+        history = model.fit(dataset.train_features, dataset.train_labels)
+        accuracy = model.score(dataset.test_features, dataset.test_labels)
+        assert accuracy > 0.3  # far above the 10% chance level
+        assert history.epochs >= 1
+
+    def test_memhd_pipeline_on_isolet_profile(self):
+        dataset = load_dataset("isolet", scale=0.15)
+        model = MEMHDModel(
+            dataset.num_features,
+            dataset.num_classes,
+            MEMHDConfig(dimension=128, columns=52, epochs=6, seed=1),
+            rng=1,
+        )
+        model.fit(dataset.train_features, dataset.train_labels)
+        accuracy = model.score(dataset.test_features, dataset.test_labels)
+        assert accuracy > 0.15  # chance level is ~3.8%
+
+    def test_all_model_families_run_on_one_dataset(self, tiny_dataset):
+        """Every Table I model family trains and predicts via the same API."""
+        num_features = tiny_dataset.num_features
+        num_classes = tiny_dataset.num_classes
+        models = [
+            MEMHDModel(
+                num_features,
+                num_classes,
+                MEMHDConfig(dimension=64, columns=16, epochs=3, seed=0),
+                rng=0,
+            ),
+            BasicHDC(num_features, num_classes, BasicHDCConfig(dimension=128, seed=0)),
+            QuantHD(
+                num_features,
+                num_classes,
+                QuantHDConfig(dimension=128, num_levels=8, epochs=3, seed=0),
+            ),
+            SearcHD(
+                num_features,
+                num_classes,
+                SearcHDConfig(
+                    dimension=256, num_models=4, num_levels=8, epochs=2, seed=0
+                ),
+            ),
+            LeHDC(
+                num_features,
+                num_classes,
+                LeHDCConfig(
+                    dimension=256,
+                    num_levels=16,
+                    epochs=10,
+                    learning_rate=0.1,
+                    seed=0,
+                ),
+            ),
+        ]
+        for model in models:
+            record = evaluate_classifier(model, tiny_dataset, record_history=False)
+            assert record.test_accuracy > 1.5 / num_classes, model.name
+            assert record.memory_kib > 0
+
+
+class TestSoftwareHardwareEquivalence:
+    """The central simulator invariant, exercised end to end."""
+
+    def test_memhd_predictions_survive_imc_mapping(self, trained_memhd, tiny_dataset):
+        model, _ = trained_memhd
+        for geometry in ((128, 128), (64, 64), (32, 48)):
+            engine = InMemoryInference(model, IMCArrayConfig(*geometry))
+            assert np.array_equal(
+                engine.predict(tiny_dataset.test_features),
+                model.predict(tiny_dataset.test_features),
+            )
+
+    def test_accuracy_preserved_through_mapping(self, trained_memhd, tiny_dataset):
+        model, _ = trained_memhd
+        engine = InMemoryInference(model, IMCArrayConfig(128, 128))
+        software = model.score(tiny_dataset.test_features, tiny_dataset.test_labels)
+        hardware = float(
+            np.mean(engine.predict(tiny_dataset.test_features) == tiny_dataset.test_labels)
+        )
+        assert hardware == pytest.approx(software)
+
+    def test_simulated_stats_consistent_with_table2_model(self, tiny_dataset):
+        """Physical tiling and the analytical Table II formulas agree."""
+        model = MEMHDModel(
+            tiny_dataset.num_features,
+            tiny_dataset.num_classes,
+            MEMHDConfig(dimension=128, columns=128, epochs=1, seed=2),
+            rng=2,
+        )
+        model.fit(tiny_dataset.train_features, tiny_dataset.train_labels)
+        engine = InMemoryInference(model, IMCArrayConfig(128, 128))
+        stats = engine.stats()
+        reports = full_mapping_report(
+            num_features=tiny_dataset.num_features,
+            num_classes=tiny_dataset.num_classes,
+            baseline_dimension=10240,
+            memhd_dimension=128,
+            memhd_columns=128,
+            partition_counts=(5,),
+        )
+        memhd_report = reports[-1]
+        assert stats.am_arrays == memhd_report.am_arrays
+        assert stats.am_cycles_per_inference == memhd_report.am_cycles
+        assert stats.em_arrays == memhd_report.em_arrays
+        assert stats.em_cycles_per_inference == memhd_report.em_cycles
+
+
+class TestPaperHeadlineClaims:
+    """Scaled-down versions of the paper's two headline comparisons."""
+
+    def test_memhd_matches_higher_dimensional_basichdc(self, tiny_hard_dataset):
+        """MEMHD with a small, fully-utilized AM rivals a much larger BasicHDC."""
+        memhd = MEMHDModel(
+            tiny_hard_dataset.num_features,
+            tiny_hard_dataset.num_classes,
+            MEMHDConfig(dimension=128, columns=64, epochs=10, seed=3),
+            rng=3,
+        )
+        basic = BasicHDC(
+            tiny_hard_dataset.num_features,
+            tiny_hard_dataset.num_classes,
+            BasicHDCConfig(dimension=1024, refine_epochs=10, seed=3),
+        )
+        memhd.fit(tiny_hard_dataset.train_features, tiny_hard_dataset.train_labels)
+        basic.fit(tiny_hard_dataset.train_features, tiny_hard_dataset.train_labels)
+        memhd_acc = memhd.score(
+            tiny_hard_dataset.test_features, tiny_hard_dataset.test_labels
+        )
+        basic_acc = basic.score(
+            tiny_hard_dataset.test_features, tiny_hard_dataset.test_labels
+        )
+        memhd_memory = memhd.memory_report().total_bits
+        basic_memory = basic.memory_report().total_bits
+        assert memhd_acc >= basic_acc - 0.08
+        # At the paper's feature counts (f=784) the gap is >50x (see the
+        # memory-model tests); the tiny 32-feature fixture still shows a
+        # clear multiple.
+        assert basic_memory > 2.5 * memhd_memory
+
+    def test_table2_improvement_factors_hold(self):
+        reports = full_mapping_report(
+            num_features=784,
+            num_classes=10,
+            baseline_dimension=10240,
+            memhd_dimension=128,
+            memhd_columns=128,
+            partition_counts=(5, 10),
+        )
+        factors = improvement_factors(reports)
+        assert factors["cycle_reduction"] == pytest.approx(80.0)
+        assert factors["array_reduction"] == pytest.approx(80.0)
+
+    def test_multi_centroid_beats_single_centroid_at_same_dimension(
+        self, tiny_hard_dataset
+    ):
+        """The core architectural claim: more centroids per class help."""
+        single = MEMHDModel(
+            tiny_hard_dataset.num_features,
+            tiny_hard_dataset.num_classes,
+            MEMHDConfig(
+                dimension=96,
+                columns=tiny_hard_dataset.num_classes,  # one centroid per class
+                epochs=10,
+                seed=4,
+            ),
+            rng=4,
+        )
+        multi = MEMHDModel(
+            tiny_hard_dataset.num_features,
+            tiny_hard_dataset.num_classes,
+            MEMHDConfig(dimension=96, columns=48, epochs=10, seed=4),
+            rng=4,
+        )
+        single.fit(tiny_hard_dataset.train_features, tiny_hard_dataset.train_labels)
+        multi.fit(tiny_hard_dataset.train_features, tiny_hard_dataset.train_labels)
+        single_acc = single.score(
+            tiny_hard_dataset.test_features, tiny_hard_dataset.test_labels
+        )
+        multi_acc = multi.score(
+            tiny_hard_dataset.test_features, tiny_hard_dataset.test_labels
+        )
+        assert multi_acc > single_acc

@@ -11,7 +11,6 @@ one centroid per class and the accuracy-vs-columns curve is printed.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 from conftest import BENCH_EPOCHS, print_section
 
 from repro.core.compression import merge_similar_centroids, prune_centroids

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
-from conftest import BENCH_EPOCHS, bench_dataset, print_section
+from conftest import BENCH_EPOCHS, print_section
 
 from repro.core.config import MEMHDConfig
 from repro.core.model import MEMHDModel

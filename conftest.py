@@ -1,0 +1,29 @@
+"""Repository-level pytest configuration.
+
+Two jobs:
+
+* make the ``src``-layout package importable when the repo has not been
+  ``pip install -e .``-ed (so both ``pytest`` and the historical
+  ``PYTHONPATH=src pytest`` invocation work from a clean checkout), and
+* register the shared ``--smoke`` option used by the benchmark suite
+  (``benchmarks/conftest.py`` shrinks every workload when it is set) so CI
+  and local runs share one knob.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--smoke",
+        action="store_true",
+        default=False,
+        help="run benchmarks at tiny smoke-test sizes (CI uses this)",
+    )

@@ -13,6 +13,8 @@ paper depends on:
   clustering-based initialization, quantization-aware iterative learning),
 * :mod:`repro.imc` -- in-memory-computing array model, mapping analysis,
   cost model and a bit-exact functional inference simulator,
+* :mod:`repro.runtime` -- batched inference pipeline (chunking, engine
+  selection, thread-pool sharding, throughput stats),
 * :mod:`repro.eval` -- metrics, experiment runners and report formatting.
 
 Quickstart::
@@ -34,9 +36,11 @@ from repro.core.model import MEMHDModel
 from repro.core.associative_memory import MultiCentroidAM
 from repro.baselines import BasicHDC, QuantHD, SearcHD, LeHDC
 from repro.data import load_dataset, Dataset
+from repro.hdc import PackedAM, pack_binary, pack_bipolar
 from repro.imc import IMCArrayConfig, InMemoryInference
+from repro.runtime import InferencePipeline, PipelineStats
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "MEMHDConfig",
@@ -48,7 +52,12 @@ __all__ = [
     "LeHDC",
     "load_dataset",
     "Dataset",
+    "PackedAM",
+    "pack_binary",
+    "pack_bipolar",
     "IMCArrayConfig",
     "InMemoryInference",
+    "InferencePipeline",
+    "PipelineStats",
     "__version__",
 ]

@@ -24,6 +24,7 @@ from repro.baselines.base import HDCClassifier, TrainingHistory
 from repro.hdc.encoders import RandomProjectionEncoder
 from repro.hdc.hypervector import _as_generator, bipolarize
 from repro.hdc.memory_model import MemoryReport, model_memory_report
+from repro.hdc.packed import PackedVectors, pack_bipolar, packed_dot_similarity
 from repro.hdc.similarity import dot_similarity
 from repro.eval.metrics import accuracy
 
@@ -88,6 +89,7 @@ class BasicHDC(HDCClassifier):
         )
         self._fp_am: Optional[np.ndarray] = None
         self._am: Optional[np.ndarray] = None
+        self._packed_am: Optional[PackedVectors] = None
 
     # ------------------------------------------------------------------ API
     def fit(
@@ -122,13 +124,14 @@ class BasicHDC(HDCClassifier):
             history.train_accuracy.append(history.initial_accuracy)
         return history
 
-    def predict(self, features: np.ndarray) -> np.ndarray:
+    def predict(self, features: np.ndarray, engine: str = "float") -> np.ndarray:
+        """Classify raw features (``engine="packed"`` uses popcount search)."""
         if self._am is None:
             raise RuntimeError("BasicHDC.predict called before fit")
         encoded = self.encoder.encode(np.asarray(features, dtype=np.float64))
         if encoded.ndim == 1:
             encoded = encoded[None, :]
-        return self._predict_encoded(encoded.astype(np.float64))
+        return self._predict_encoded(encoded.astype(np.float64), engine=engine)
 
     def memory_report(self) -> MemoryReport:
         return model_memory_report(
@@ -152,9 +155,35 @@ class BasicHDC(HDCClassifier):
             self._am = bipolarize(self._fp_am).astype(np.float64)
         else:
             self._am = self._fp_am.copy()
+        self._packed_am = None
 
-    def _predict_encoded(self, encoded: np.ndarray) -> np.ndarray:
-        scores = dot_similarity(encoded, self._am)
+    def prepare_engine(self, engine: str = "float") -> None:
+        """Pipeline warm-up hook: pre-pack the AM for the packed engine."""
+        if engine == "packed":
+            self._packed()
+
+    def _packed(self) -> PackedVectors:
+        """Bit-packed (bipolar) AM, built lazily and cached per refresh."""
+        if not self.config.binary_am:
+            raise ValueError(
+                "the packed engine requires binary_am=True (1-bit class "
+                "vectors); this model keeps floating-point class vectors"
+            )
+        if self._am is None:
+            raise RuntimeError("model has not been fitted")
+        if self._packed_am is None:
+            self._packed_am = pack_bipolar(self._am)
+        return self._packed_am
+
+    def _predict_encoded(
+        self, encoded: np.ndarray, engine: str = "float"
+    ) -> np.ndarray:
+        if engine == "packed":
+            scores = packed_dot_similarity(pack_bipolar(encoded), self._packed())
+        elif engine == "float":
+            scores = dot_similarity(encoded, self._am)
+        else:
+            raise ValueError(f"engine must be 'float' or 'packed', got {engine!r}")
         return np.argmax(np.atleast_2d(scores), axis=1)
 
     def _refine_epoch(self, encoded: np.ndarray, labels: np.ndarray) -> int:

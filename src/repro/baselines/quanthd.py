@@ -22,6 +22,7 @@ from repro.baselines.base import HDCClassifier, TrainingHistory
 from repro.hdc.encoders import IDLevelEncoder
 from repro.hdc.hypervector import _as_generator, bipolarize
 from repro.hdc.memory_model import MemoryReport, model_memory_report
+from repro.hdc.packed import PackedVectors, pack_bipolar, packed_dot_similarity
 from repro.hdc.similarity import dot_similarity
 from repro.eval.metrics import accuracy
 
@@ -88,6 +89,7 @@ class QuantHD(HDCClassifier):
         )
         self._fp_am: Optional[np.ndarray] = None
         self._binary_am: Optional[np.ndarray] = None
+        self._packed_am: Optional[PackedVectors] = None
 
     # ------------------------------------------------------------------ API
     def fit(
@@ -105,6 +107,7 @@ class QuantHD(HDCClassifier):
         np.add.at(fp_am, y, encoded)
         self._fp_am = fp_am
         self._binary_am = bipolarize(fp_am).astype(np.float64)
+        self._packed_am = None
         history.initial_accuracy = accuracy(self._predict_encoded(encoded), y)
 
         alpha = self.config.learning_rate
@@ -117,6 +120,7 @@ class QuantHD(HDCClassifier):
                 np.add.at(self._fp_am, y[wrong], alpha * encoded[wrong])
                 np.add.at(self._fp_am, predictions[wrong], -alpha * encoded[wrong])
             self._binary_am = bipolarize(self._fp_am).astype(np.float64)
+            self._packed_am = None
             history.updates.append(int(wrong.size))
             history.train_accuracy.append(
                 accuracy(self._predict_encoded(encoded), y)
@@ -129,13 +133,14 @@ class QuantHD(HDCClassifier):
             history.train_accuracy.append(history.initial_accuracy)
         return history
 
-    def predict(self, features: np.ndarray) -> np.ndarray:
+    def predict(self, features: np.ndarray, engine: str = "float") -> np.ndarray:
+        """Classify raw features (``engine="packed"`` uses popcount search)."""
         if self._binary_am is None:
             raise RuntimeError("QuantHD.predict called before fit")
         encoded = self.encoder.encode(np.asarray(features, dtype=np.float64))
         if encoded.ndim == 1:
             encoded = encoded[None, :]
-        return self._predict_encoded(encoded.astype(np.float64))
+        return self._predict_encoded(encoded.astype(np.float64), engine=engine)
 
     def memory_report(self) -> MemoryReport:
         return model_memory_report(
@@ -154,6 +159,26 @@ class QuantHD(HDCClassifier):
             raise RuntimeError("model has not been fitted")
         return self._binary_am
 
-    def _predict_encoded(self, encoded: np.ndarray) -> np.ndarray:
-        scores = dot_similarity(encoded, self._binary_am)
+    def prepare_engine(self, engine: str = "float") -> None:
+        """Pipeline warm-up hook: pre-pack the AM for the packed engine."""
+        if engine == "packed":
+            self._packed()
+
+    def _packed(self) -> PackedVectors:
+        """Bit-packed (bipolar) AM, rebuilt whenever the binary AM moves."""
+        if self._binary_am is None:
+            raise RuntimeError("model has not been fitted")
+        if self._packed_am is None:
+            self._packed_am = pack_bipolar(self._binary_am)
+        return self._packed_am
+
+    def _predict_encoded(
+        self, encoded: np.ndarray, engine: str = "float"
+    ) -> np.ndarray:
+        if engine == "packed":
+            scores = packed_dot_similarity(pack_bipolar(encoded), self._packed())
+        elif engine == "float":
+            scores = dot_similarity(encoded, self._binary_am)
+        else:
+            raise ValueError(f"engine must be 'float' or 'packed', got {engine!r}")
         return np.argmax(np.atleast_2d(scores), axis=1)

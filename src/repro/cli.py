@@ -1,20 +1,27 @@
 """Command-line interface for the MEMHD reproduction.
 
-Installed as ``memhd-repro`` (see ``pyproject.toml``); also runnable as
-``python -m repro.cli``.  Four subcommands cover the everyday workflows:
+Installed as ``repro`` (with a ``memhd-repro`` alias; see
+``pyproject.toml``); also runnable as ``python -m repro.cli``.  Five
+subcommands cover the everyday workflows:
 
-``memhd-repro info --dataset mnist``
+``repro info --dataset mnist``
     Print the dataset profile (features, classes, per-class budgets).
 
-``memhd-repro train --dataset fmnist --model memhd --dimension 128 --columns 128``
+``repro train --dataset fmnist --model memhd --dimension 128 --columns 128``
     Train one model, report train/test accuracy and the Table I memory
     breakdown, optionally saving the trained artifacts to an ``.npz``.
 
-``memhd-repro map --dataset mnist --rows 128 --cols 128``
+``repro predict --dataset mnist --engine packed --batch-size 256``
+    Train a model, then serve the test split through the batched
+    :class:`repro.runtime.InferencePipeline` with the selected similarity
+    engine (``float`` / ``packed`` / ``both``) and report accuracy and
+    throughput.
+
+``repro map --dataset mnist --rows 128 --cols 128``
     Print the Table II mapping analysis (basic / partitioned / MEMHD) for an
     array geometry.
 
-``memhd-repro sweep --dataset mnist --dimensions 64,128 --columns 64,128``
+``repro sweep --dataset mnist --dimensions 64,128 --columns 64,128``
     Run the Fig. 4 style accuracy grid and print the heatmap.
 
 Every command accepts ``--scale`` to control how much of the paper-scale
@@ -44,9 +51,12 @@ from repro.core.config import MEMHDConfig
 from repro.core.model import MEMHDModel
 from repro.data.datasets import available_datasets, load_dataset
 from repro.eval.experiments import grid_sweep
+from repro.eval.metrics import accuracy
 from repro.eval.reporting import format_heatmap, format_table
+from repro.hdc.packed import kernel_backend
 from repro.imc.analysis import full_mapping_report, improvement_factors, table2_rows
 from repro.imc.array import IMCArrayConfig
+from repro.runtime.pipeline import throughput_comparison
 
 #: Model families constructible from the command line.
 MODEL_CHOICES = ("memhd", "basichdc", "quanthd", "searchd", "lehdc")
@@ -66,7 +76,7 @@ def _int_list(text: str) -> List[int]:
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
-        prog="memhd-repro",
+        prog="repro",
         description="MEMHD (DATE 2025) reproduction command-line interface",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
@@ -82,33 +92,62 @@ def build_parser() -> argparse.ArgumentParser:
         )
         sub.add_argument("--seed", type=int, default=0, help="random seed")
 
+    def add_model_options(sub: argparse.ArgumentParser, epochs: int) -> None:
+        sub.add_argument("--model", default="memhd", choices=MODEL_CHOICES)
+        sub.add_argument(
+            "--dimension", type=int, default=128, help="hypervector dimension D"
+        )
+        sub.add_argument(
+            "--columns", type=int, default=128,
+            help="MEMHD AM columns C (ignored by the baselines)",
+        )
+        sub.add_argument("--epochs", type=int, default=epochs)
+        sub.add_argument("--learning-rate", type=float, default=0.05)
+        sub.add_argument(
+            "--cluster-ratio", type=float, default=0.8,
+            help="MEMHD initial cluster ratio R",
+        )
+        sub.add_argument(
+            "--init", default="clustering", choices=("clustering", "random"),
+            help="MEMHD initialization method",
+        )
+        sub.add_argument(
+            "--id-levels", type=int, default=32,
+            help="number of levels L for the ID-Level baselines",
+        )
+
     info = subparsers.add_parser("info", help="print a dataset profile summary")
     add_dataset_options(info)
 
     train = subparsers.add_parser("train", help="train and evaluate one model")
     add_dataset_options(train)
-    train.add_argument("--model", default="memhd", choices=MODEL_CHOICES)
-    train.add_argument("--dimension", type=int, default=128, help="hypervector dimension D")
-    train.add_argument(
-        "--columns", type=int, default=128,
-        help="MEMHD AM columns C (ignored by the baselines)",
-    )
-    train.add_argument("--epochs", type=int, default=20)
-    train.add_argument("--learning-rate", type=float, default=0.05)
-    train.add_argument(
-        "--cluster-ratio", type=float, default=0.8, help="MEMHD initial cluster ratio R"
-    )
-    train.add_argument(
-        "--init", default="clustering", choices=("clustering", "random"),
-        help="MEMHD initialization method",
-    )
-    train.add_argument(
-        "--id-levels", type=int, default=32,
-        help="number of levels L for the ID-Level baselines",
-    )
+    add_model_options(train, epochs=20)
     train.add_argument(
         "--save", default=None, metavar="PATH",
         help="save the trained binary artifacts to an .npz file",
+    )
+
+    predict = subparsers.add_parser(
+        "predict",
+        help="serve the test split through the batched inference pipeline",
+    )
+    add_dataset_options(predict)
+    add_model_options(predict, epochs=5)
+    predict.add_argument(
+        "--engine", default="packed", choices=("float", "packed", "both"),
+        help="similarity engine ('both' compares float vs packed)",
+    )
+    predict.add_argument(
+        "--batch-size", type=int, default=1024,
+        help="pipeline chunk size (query rows per chunk)",
+    )
+    predict.add_argument(
+        "--workers", type=int, default=1,
+        help="thread-pool width for sharding chunks",
+    )
+    predict.add_argument(
+        "--repeats", type=int, default=3,
+        help="timed repetitions per engine (best run is reported)",
     )
 
     map_cmd = subparsers.add_parser(
@@ -254,6 +293,47 @@ def cmd_train(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_predict(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.dataset, scale=args.scale, rng=args.seed)
+    model = _build_model(args, dataset.num_features, dataset.num_classes)
+    model.fit(dataset.train_features, dataset.train_labels)
+
+    engines = ("float", "packed") if args.engine == "both" else (args.engine,)
+    try:
+        labels, stats = throughput_comparison(
+            model,
+            dataset.test_features,
+            engines=engines,
+            chunk_size=args.batch_size,
+            workers=args.workers,
+            repeats=args.repeats,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    test_accuracy = accuracy(labels, dataset.test_labels)
+
+    rows = []
+    for engine_stats in stats:
+        row = engine_stats.as_dict()
+        row["backend"] = kernel_backend() if engine_stats.engine == "packed" else "blas"
+        row["elapsed_ms"] = 1000.0 * row.pop("elapsed_s")
+        row["accuracy_%"] = 100.0 * test_accuracy
+        rows.append(row)
+    print(
+        format_table(
+            rows,
+            float_format="{:.2f}",
+            title=f"Batched inference on {dataset.name} ({model.name})",
+        )
+    )
+    if len(stats) == 2 and stats[1].elapsed_seconds > 0:
+        speedup = stats[0].elapsed_seconds / stats[1].elapsed_seconds
+        print(f"packed engine speedup over float64 matmul: {speedup:.2f}x")
+    return 0
+
+
 def cmd_map(args: argparse.Namespace) -> int:
     dataset = load_dataset(args.dataset, scale=min(args.scale, 0.02), rng=args.seed)
     array = IMCArrayConfig(args.rows, args.cols)
@@ -302,6 +382,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 COMMANDS = {
     "info": cmd_info,
     "train": cmd_train,
+    "predict": cmd_predict,
     "map": cmd_map,
     "sweep": cmd_sweep,
 }

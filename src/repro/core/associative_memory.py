@@ -15,6 +15,11 @@ Two parallel representations are maintained:
 ``binary_memory``
     The 1-bit quantized memory actually used for every similarity
     evaluation (and the only thing mapped into the IMC array).
+
+A third, derived representation -- the bit-packed mirror returned by
+:meth:`MultiCentroidAM.packed` -- stores the same 1-bit memory as
+``uint64`` words and serves the ``packed=True`` fast path of every
+inference method (bit-exact with the float path).
 """
 
 from __future__ import annotations
@@ -24,6 +29,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.core.quantization import mean_threshold_binarize, normalize_rows
+from repro.hdc.packed import PackedAM
 from repro.hdc.similarity import dot_similarity
 
 
@@ -79,6 +85,7 @@ class MultiCentroidAM:
         self.threshold_mode = threshold_mode
         self.normalization = normalization
         self.binary_memory = np.zeros_like(fp, dtype=np.int8)
+        self._packed_am: Optional[PackedAM] = None
         self.refresh_binary()
 
     # ----------------------------------------------------------- properties
@@ -109,7 +116,21 @@ class MultiCentroidAM:
         return {label: int(count) for label, count in enumerate(counts)}
 
     # ------------------------------------------------------------ inference
-    def scores(self, queries: np.ndarray) -> np.ndarray:
+    def packed(self) -> PackedAM:
+        """Bit-packed mirror of the binary AM (built lazily, cached).
+
+        The packed mirror stores the 1-bit memory as ``uint64`` words (8x
+        smaller than ``binary_memory``) and answers associative searches
+        with popcount kernels.  It is invalidated by
+        :meth:`refresh_binary`.
+        """
+        if self._packed_am is None:
+            self._packed_am = PackedAM.from_binary_memory(
+                self.binary_memory, self.column_classes, self.num_classes
+            )
+        return self._packed_am
+
+    def scores(self, queries: np.ndarray, packed: bool = False) -> np.ndarray:
         """Dot similarity of binary queries against the binary AM.
 
         Parameters
@@ -117,6 +138,9 @@ class MultiCentroidAM:
         queries:
             ``(n, D)`` or ``(D,)`` binary ``{0, 1}`` query hypervectors
             (the output of the binary projection encoder).
+        packed:
+            When ``True``, evaluate through the bit-packed popcount engine
+            (bit-exact with the float path, far less memory traffic).
 
         Returns
         -------
@@ -129,20 +153,22 @@ class MultiCentroidAM:
                 f"query dimension {arr.shape[-1]} does not match AM dimension "
                 f"{self.dimension}"
             )
+        if packed:
+            return self.packed().scores(arr)
         return dot_similarity(arr, self.binary_memory)
 
-    def predict_columns(self, queries: np.ndarray) -> np.ndarray:
+    def predict_columns(self, queries: np.ndarray, packed: bool = False) -> np.ndarray:
         """Index of the winning AM row for each query."""
-        scores = np.atleast_2d(self.scores(queries))
+        scores = np.atleast_2d(self.scores(queries, packed=packed))
         return np.argmax(scores, axis=1)
 
-    def predict(self, queries: np.ndarray) -> np.ndarray:
+    def predict(self, queries: np.ndarray, packed: bool = False) -> np.ndarray:
         """Predicted class labels (the class of the winning row)."""
-        return self.column_classes[self.predict_columns(queries)]
+        return self.column_classes[self.predict_columns(queries, packed=packed)]
 
-    def class_scores(self, queries: np.ndarray) -> np.ndarray:
+    def class_scores(self, queries: np.ndarray, packed: bool = False) -> np.ndarray:
         """Per-class score: the best similarity among each class's rows."""
-        scores = np.atleast_2d(self.scores(queries))
+        scores = np.atleast_2d(self.scores(queries, packed=packed))
         result = np.full((scores.shape[0], self.num_classes), -np.inf)
         for class_label in range(self.num_classes):
             columns = self.columns_of_class(class_label)
@@ -154,6 +180,7 @@ class MultiCentroidAM:
         """Re-quantize the binary AM from the (normalized) FP AM."""
         normalized = normalize_rows(self.fp_memory, self.normalization)
         self.binary_memory = mean_threshold_binarize(normalized, self.threshold_mode)
+        self._packed_am = None
 
     def apply_updates(
         self,

@@ -34,6 +34,14 @@ from repro.core.training import QuantizationAwareTrainer
 from repro.hdc.encoders import RandomProjectionEncoder
 from repro.hdc.hypervector import _as_generator, to_binary
 from repro.hdc.memory_model import MemoryReport, model_memory_report
+from repro.runtime.pipeline import ENGINES, InferencePipeline
+
+
+def _use_packed(engine: str) -> bool:
+    """Validate an engine name and return whether it is the packed one."""
+    if engine not in ENGINES:
+        raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
+    return engine == "packed"
 
 
 class MEMHDModel(HDCClassifier):
@@ -140,13 +148,23 @@ class MEMHDModel(HDCClassifier):
             self._am, encoded, y, validation=validation_encoded, rng=self._rng
         )
 
-    def predict(self, features: np.ndarray) -> np.ndarray:
-        """Associative-search classification of raw feature vectors."""
+    def predict(self, features: np.ndarray, engine: str = "float") -> np.ndarray:
+        """Associative-search classification of raw feature vectors.
+
+        Parameters
+        ----------
+        features:
+            ``(n, f)`` or ``(f,)`` raw feature vectors.
+        engine:
+            ``"float"`` evaluates similarities with the reference matmul
+            path; ``"packed"`` uses the bit-packed popcount engine.  Both
+            produce bit-identical predictions.
+        """
         am = self._require_am()
         encoded = self.encode_binary(np.asarray(features, dtype=np.float64))
         if encoded.ndim == 1:
             encoded = encoded[None, :]
-        return am.predict(encoded.astype(np.float64))
+        return am.predict(encoded, packed=_use_packed(engine))
 
     def memory_report(self) -> MemoryReport:
         """Table I breakdown: ``f*D`` encoder bits plus ``C*D`` AM bits."""
@@ -190,13 +208,37 @@ class MEMHDModel(HDCClassifier):
         """The encoder's projection matrix as mapped into the IMC array."""
         return self.encoder.projection_binary
 
-    def class_scores(self, features: np.ndarray) -> np.ndarray:
+    def class_scores(self, features: np.ndarray, engine: str = "float") -> np.ndarray:
         """Per-class best-centroid similarity scores for raw features."""
         am = self._require_am()
         encoded = self.encode_binary(np.asarray(features, dtype=np.float64))
         if encoded.ndim == 1:
             encoded = encoded[None, :]
-        return am.class_scores(encoded.astype(np.float64))
+        return am.class_scores(encoded, packed=_use_packed(engine))
+
+    def prepare_engine(self, engine: str = "float") -> None:
+        """Build engine state ahead of serving (pipeline warm-up hook).
+
+        For the packed engine this packs the binary AM into ``uint64``
+        words; the encoder's projection matrix is materialized in both
+        cases so the first served chunk pays no lazy-initialization cost.
+        """
+        am = self._require_am()
+        _ = self.encoder.projection  # encoder state is eager; touch it anyway
+        if _use_packed(engine):
+            am.packed()
+
+    def make_pipeline(
+        self,
+        engine: str = "packed",
+        chunk_size: int = 1024,
+        workers: int = 1,
+    ) -> InferencePipeline:
+        """Batched serving pipeline over this model (defaults to packed)."""
+        self._require_am()
+        return InferencePipeline(
+            self, engine=engine, chunk_size=chunk_size, workers=workers
+        )
 
     # ------------------------------------------------------------ internals
     def _require_am(self) -> MultiCentroidAM:

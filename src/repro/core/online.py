@@ -22,7 +22,7 @@ encoder, so queries keep using the already-deployed projection matrix.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
 import numpy as np
 

@@ -16,7 +16,7 @@ always produces bit-identical data.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Tuple, Union
 
 import numpy as np

@@ -14,6 +14,9 @@ reproduction rests on:
   metric, used for MEMHD's clustering-based initialization.
 * :mod:`repro.hdc.memory_model` -- the Table I memory-requirement formulas
   for every model family.
+* :mod:`repro.hdc.packed` -- bit-packed (``uint64``-word) hypervectors and
+  the popcount similarity engine behind every ``packed=True`` /
+  ``engine="packed"`` fast path in the library.
 """
 
 from repro.hdc.hypervector import (
@@ -50,6 +53,16 @@ from repro.hdc.clustering import (
     classwise_clustering,
 )
 from repro.hdc.item_memory import ItemMemory
+from repro.hdc.packed import (
+    PackedAM,
+    PackedVectors,
+    kernel_backend,
+    pack_binary,
+    pack_bipolar,
+    packed_dot_similarity,
+    packed_hamming_distance,
+    words_per_vector,
+)
 from repro.hdc.memory_model import (
     MemoryReport,
     bits_to_kib,
@@ -87,6 +100,14 @@ __all__ = [
     "dot_kmeans",
     "classwise_clustering",
     "ItemMemory",
+    "PackedAM",
+    "PackedVectors",
+    "kernel_backend",
+    "pack_binary",
+    "pack_bipolar",
+    "packed_dot_similarity",
+    "packed_hamming_distance",
+    "words_per_vector",
     "MemoryReport",
     "bits_to_kib",
     "projection_encoder_bits",

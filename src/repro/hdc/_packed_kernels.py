@@ -1,0 +1,258 @@
+"""Popcount kernels behind the bit-packed similarity engine.
+
+Two interchangeable backends compute the ``(n, m)`` pair matrix of
+``popcount(q AND r)`` (binary dot similarity) or ``popcount(q XOR r)``
+(Hamming distance) over ``uint64``-packed hypervectors:
+
+``numpy``
+    A cache-blocked pure-numpy kernel built on :func:`numpy.bitwise_count`.
+    Always available; used as the correctness reference.
+
+``native``
+    A ~30-line C kernel compiled on first use with the system C compiler
+    (``cc``/``gcc``) and loaded through :mod:`ctypes`.  On a typical x86-64
+    host the hardware ``popcnt`` path is an order of magnitude faster than
+    the blocked numpy kernel because the ``(n, m, W)`` AND/XOR intermediate
+    never materializes.  Compilation happens once per machine into a
+    content-addressed cache directory under the system temp dir; any
+    failure (no compiler, sandboxed filesystem, exotic platform) silently
+    falls back to the numpy backend.
+
+The active backend is chosen automatically, can be pinned with the
+``REPRO_PACKED_BACKEND`` environment variable (``auto`` / ``native`` /
+``numpy``) and can be switched at runtime with :func:`set_backend` (used by
+the equivalence tests to compare both backends).
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import threading
+from typing import Callable, Optional
+
+import numpy as np
+
+#: Rows per query block of the numpy kernel; sized so the blocked AND/XOR
+#: intermediate (block * m * W words) stays cache-resident for typical AMs.
+_NUMPY_BLOCK_ROWS = 16
+
+_C_SOURCE = r"""
+#include <stdint.h>
+#include <stddef.h>
+
+void and_popcount(const uint64_t* q, const uint64_t* r, int64_t* out,
+                  size_t n, size_t m, size_t words) {
+    for (size_t i = 0; i < n; ++i) {
+        const uint64_t* qi = q + i * words;
+        for (size_t j = 0; j < m; ++j) {
+            const uint64_t* rj = r + j * words;
+            uint64_t acc = 0;
+            for (size_t w = 0; w < words; ++w)
+                acc += (uint64_t)__builtin_popcountll(qi[w] & rj[w]);
+            out[i * m + j] = (int64_t)acc;
+        }
+    }
+}
+
+void xor_popcount(const uint64_t* q, const uint64_t* r, int64_t* out,
+                  size_t n, size_t m, size_t words) {
+    for (size_t i = 0; i < n; ++i) {
+        const uint64_t* qi = q + i * words;
+        for (size_t j = 0; j < m; ++j) {
+            const uint64_t* rj = r + j * words;
+            uint64_t acc = 0;
+            for (size_t w = 0; w < words; ++w)
+                acc += (uint64_t)__builtin_popcountll(qi[w] ^ rj[w]);
+            out[i * m + j] = (int64_t)acc;
+        }
+    }
+}
+"""
+
+_lock = threading.Lock()
+_native_lib: Optional[ctypes.CDLL] = None
+_native_attempted = False
+_forced_backend: Optional[str] = None
+
+
+def _env_backend() -> str:
+    value = os.environ.get("REPRO_PACKED_BACKEND", "auto").strip().lower()
+    if value not in ("auto", "native", "numpy"):
+        raise ValueError(
+            f"REPRO_PACKED_BACKEND must be auto, native or numpy, got {value!r}"
+        )
+    return value
+
+
+def set_backend(backend: Optional[str]) -> None:
+    """Pin the kernel backend (``"native"`` / ``"numpy"``) or reset with None.
+
+    Pinning ``"native"`` raises :class:`RuntimeError` when no native kernel
+    can be built on this machine; ``"numpy"`` always succeeds.
+    """
+    global _forced_backend
+    if backend is None:
+        _forced_backend = None
+        return
+    if backend not in ("native", "numpy"):
+        raise ValueError(f"backend must be 'native' or 'numpy', got {backend!r}")
+    if backend == "native" and _load_native() is None:
+        raise RuntimeError("native popcount kernel is unavailable on this machine")
+    _forced_backend = backend
+
+
+def backend_name() -> str:
+    """Name of the backend the next kernel call will use."""
+    if _forced_backend is not None:
+        return _forced_backend
+    env = _env_backend()
+    if env == "numpy":
+        return "numpy"
+    lib = _load_native()
+    if lib is None:
+        if env == "native":
+            raise RuntimeError("REPRO_PACKED_BACKEND=native but no C compiler works")
+        return "numpy"
+    return "native"
+
+
+# --------------------------------------------------------------- native build
+def _cache_dir(digest: str) -> str:
+    tag = f"repro-packed-{digest[:16]}-py{sys.version_info[0]}{sys.version_info[1]}"
+    return os.path.join(tempfile.gettempdir(), tag)
+
+
+def _compile_native() -> Optional[str]:
+    """Compile the C kernels into a cached shared object; None on failure."""
+    compiler = os.environ.get("CC") or shutil.which("cc") or shutil.which("gcc")
+    if compiler is None:
+        return None
+    digest = hashlib.sha256((_C_SOURCE + compiler).encode()).hexdigest()
+    directory = _cache_dir(digest)
+    library = os.path.join(directory, "kernels.so")
+    if os.path.exists(library):
+        return library
+    try:
+        os.makedirs(directory, exist_ok=True)
+        source = os.path.join(directory, "kernels.c")
+        with open(source, "w") as handle:
+            handle.write(_C_SOURCE)
+        for extra in (["-march=native"], []):  # fall back if -march is rejected
+            scratch = library + f".tmp{os.getpid()}"
+            command = [
+                compiler,
+                "-O3",
+                "-funroll-loops",
+                "-shared",
+                "-fPIC",
+                *extra,
+                "-o",
+                scratch,
+                source,
+            ]
+            result = subprocess.run(
+                command, capture_output=True, timeout=120, check=False
+            )
+            if result.returncode == 0:
+                os.replace(scratch, library)  # atomic against concurrent builds
+                return library
+        return None
+    except (OSError, subprocess.SubprocessError):
+        return None
+
+
+def _load_native() -> Optional[ctypes.CDLL]:
+    """Load (building if needed) the native kernel library; None on failure."""
+    global _native_lib, _native_attempted
+    if _native_lib is not None:
+        return _native_lib
+    if _native_attempted:
+        return None
+    with _lock:
+        if _native_lib is not None or _native_attempted:
+            return _native_lib
+        _native_attempted = True
+        library = _compile_native()
+        if library is None:
+            return None
+        try:
+            lib = ctypes.CDLL(library)
+        except OSError:
+            return None
+        u64 = ctypes.POINTER(ctypes.c_uint64)
+        i64 = ctypes.POINTER(ctypes.c_int64)
+        size_t = ctypes.c_size_t
+        for name in ("and_popcount", "xor_popcount"):
+            fn = getattr(lib, name)
+            fn.argtypes = [u64, u64, i64, size_t, size_t, size_t]
+            fn.restype = None
+        _native_lib = lib
+    return _native_lib
+
+
+# -------------------------------------------------------------------- kernels
+def _check_operands(queries: np.ndarray, references: np.ndarray) -> None:
+    if queries.ndim != 2 or references.ndim != 2:
+        raise ValueError("packed kernels expect 2-D (count, words) operands")
+    if queries.dtype != np.uint64 or references.dtype != np.uint64:
+        raise ValueError("packed kernels expect uint64 words")
+    if queries.shape[1] != references.shape[1]:
+        raise ValueError(
+            f"word-count mismatch: {queries.shape[1]} vs {references.shape[1]}"
+        )
+
+
+def _native_pair_popcount(
+    queries: np.ndarray, references: np.ndarray, symbol: str
+) -> np.ndarray:
+    lib = _load_native()
+    assert lib is not None
+    q = np.ascontiguousarray(queries)
+    r = np.ascontiguousarray(references)
+    out = np.empty((q.shape[0], r.shape[0]), dtype=np.int64)
+    u64 = ctypes.POINTER(ctypes.c_uint64)
+    i64 = ctypes.POINTER(ctypes.c_int64)
+    getattr(lib, symbol)(
+        q.ctypes.data_as(u64),
+        r.ctypes.data_as(u64),
+        out.ctypes.data_as(i64),
+        q.shape[0],
+        r.shape[0],
+        q.shape[1],
+    )
+    return out
+
+
+def _numpy_pair_popcount(
+    queries: np.ndarray, references: np.ndarray, op: Callable
+) -> np.ndarray:
+    n = queries.shape[0]
+    out = np.empty((n, references.shape[0]), dtype=np.int64)
+    # Block over queries so the (block, m, W) intermediate stays in cache.
+    for start in range(0, n, _NUMPY_BLOCK_ROWS):
+        stop = min(start + _NUMPY_BLOCK_ROWS, n)
+        combined = op(queries[start:stop, None, :], references[None, :, :])
+        out[start:stop] = np.bitwise_count(combined).sum(axis=-1, dtype=np.int64)
+    return out
+
+
+def and_popcount(queries: np.ndarray, references: np.ndarray) -> np.ndarray:
+    """``out[i, j] = popcount(queries[i] AND references[j])`` over words."""
+    _check_operands(queries, references)
+    if backend_name() == "native":
+        return _native_pair_popcount(queries, references, "and_popcount")
+    return _numpy_pair_popcount(queries, references, np.bitwise_and)
+
+
+def xor_popcount(queries: np.ndarray, references: np.ndarray) -> np.ndarray:
+    """``out[i, j] = popcount(queries[i] XOR references[j])`` over words."""
+    _check_operands(queries, references)
+    if backend_name() == "native":
+        return _native_pair_popcount(queries, references, "xor_popcount")
+    return _numpy_pair_popcount(queries, references, np.bitwise_xor)

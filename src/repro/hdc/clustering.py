@@ -14,7 +14,7 @@ dot product directly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Union
 
 import numpy as np

@@ -33,6 +33,7 @@ import numpy as np
 
 from repro.core.model import MEMHDModel
 from repro.hdc.hypervector import _as_generator
+from repro.hdc.packed import PackedAM
 from repro.imc.array import IMCArrayConfig
 from repro.imc.mapping import TiledMatrix, tile_matrix
 from repro.imc.noise import NoiseModel
@@ -119,6 +120,7 @@ class InMemoryInference:
             am_matrix, self.array_config, name="am"
         )
         self.column_classes = am.column_classes.copy()
+        self._digital_reference: Optional[PackedAM] = None
 
     # ------------------------------------------------------------------ API
     def encode(self, features: np.ndarray) -> np.ndarray:
@@ -173,12 +175,49 @@ class InMemoryInference:
             am_column_utilization=self.am_tiles.column_utilization(),
         )
 
-    def matches_software_model(self, features: np.ndarray) -> bool:
-        """Check bit-exact agreement with the software model (noise-free only)."""
+    def digital_reference(self) -> PackedAM:
+        """Bit-packed digital-reference AM (noise-free, untiled).
+
+        The tiled analog path above simulates the hardware; this reference
+        is the golden digital model a verification flow would compare
+        against: the same binary AM, evaluated with exact popcount
+        arithmetic instead of tile-accumulated analog sums.
+        """
+        if self._digital_reference is None:
+            am = self.model.associative_memory
+            self._digital_reference = PackedAM.from_binary_memory(
+                am.binary_memory, am.column_classes, am.num_classes
+            )
+        return self._digital_reference
+
+    def reference_predict(self, features: np.ndarray) -> np.ndarray:
+        """Noise-free digital-reference predictions via the packed engine.
+
+        Uses the software encoder (exact) and the bit-packed AM, so it is
+        bit-identical to ``model.predict`` regardless of any noise injected
+        into the mapped arrays -- which is what makes it useful as the
+        golden reference when studying noise.
+        """
+        encoded = self.model.encode_binary(np.asarray(features, dtype=np.float64))
+        if encoded.ndim == 1:
+            encoded = encoded[None, :]
+        return self.digital_reference().predict(encoded)
+
+    def matches_software_model(
+        self, features: np.ndarray, engine: str = "float"
+    ) -> bool:
+        """Check bit-exact agreement with the software model (noise-free only).
+
+        ``engine`` selects the software path to compare against (the float
+        matmul path or the bit-packed engine); both must agree with the
+        tiled simulation.
+        """
         if not self.noise.is_ideal:
             raise ValueError(
                 "matches_software_model is only meaningful without injected noise"
             )
         return bool(
-            np.array_equal(self.predict(features), self.model.predict(features))
+            np.array_equal(
+                self.predict(features), self.model.predict(features, engine=engine)
+            )
         )

@@ -1,0 +1,22 @@
+"""Serving runtime: batched, optionally parallel inference pipelines.
+
+The :mod:`repro.runtime` package turns the trained models of
+:mod:`repro.core` and :mod:`repro.baselines` into a deployable serving
+path: :class:`InferencePipeline` chunks arbitrarily large query batches,
+keeps encoder/AM state warm across chunks, optionally shards chunks
+across a thread pool, and reports throughput statistics.  Combined with
+the bit-packed similarity engine (:mod:`repro.hdc.packed`) this is the
+"runs as fast as the hardware allows" deployment story of the roadmap.
+"""
+
+from repro.runtime.pipeline import (
+    InferencePipeline,
+    PipelineResult,
+    PipelineStats,
+)
+
+__all__ = [
+    "InferencePipeline",
+    "PipelineResult",
+    "PipelineStats",
+]

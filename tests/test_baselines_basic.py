@@ -156,3 +156,35 @@ class TestBasicHDC:
             validation=(tiny_dataset.test_features, tiny_dataset.test_labels),
         )
         assert len(history.validation_accuracy) == 3
+
+    def test_packed_engine_matches_float(self, tiny_dataset):
+        model = BasicHDC(
+            tiny_dataset.num_features,
+            tiny_dataset.num_classes,
+            BasicHDCConfig(dimension=100, refine_epochs=2, seed=9),  # odd words
+        )
+        model.fit(tiny_dataset.train_features, tiny_dataset.train_labels)
+        assert np.array_equal(
+            model.predict(tiny_dataset.test_features),
+            model.predict(tiny_dataset.test_features, engine="packed"),
+        )
+
+    def test_packed_engine_requires_binary_am(self, tiny_dataset):
+        model = BasicHDC(
+            tiny_dataset.num_features,
+            tiny_dataset.num_classes,
+            BasicHDCConfig(dimension=64, binary_am=False, seed=9),
+        )
+        model.fit(tiny_dataset.train_features, tiny_dataset.train_labels)
+        with pytest.raises(ValueError):
+            model.predict(tiny_dataset.test_features, engine="packed")
+
+    def test_unknown_engine_rejected(self, tiny_dataset):
+        model = BasicHDC(
+            tiny_dataset.num_features,
+            tiny_dataset.num_classes,
+            BasicHDCConfig(dimension=64, seed=9),
+        )
+        model.fit(tiny_dataset.train_features, tiny_dataset.train_labels)
+        with pytest.raises(ValueError):
+            model.predict(tiny_dataset.test_features, engine="analog")

@@ -129,3 +129,28 @@ class TestQuantHD:
         assert history.train_accuracy  # falls back to the initial accuracy
         predictions = model.predict(tiny_dataset.test_features)
         assert predictions.shape == (tiny_dataset.num_test,)
+
+    def test_packed_engine_matches_float(self, tiny_dataset):
+        model = QuantHD(
+            tiny_dataset.num_features,
+            tiny_dataset.num_classes,
+            QuantHDConfig(dimension=100, num_levels=8, epochs=2, seed=10),
+        )
+        model.fit(tiny_dataset.train_features, tiny_dataset.train_labels)
+        assert np.array_equal(
+            model.predict(tiny_dataset.test_features),
+            model.predict(tiny_dataset.test_features, engine="packed"),
+        )
+
+    def test_packed_cache_tracks_training_refreshes(self, tiny_dataset):
+        model = QuantHD(
+            tiny_dataset.num_features,
+            tiny_dataset.num_classes,
+            QuantHDConfig(dimension=64, num_levels=8, epochs=1, seed=10),
+        )
+        model.fit(tiny_dataset.train_features, tiny_dataset.train_labels)
+        model.prepare_engine("packed")
+        first = model._packed()
+        assert model._packed() is first
+        model.fit(tiny_dataset.train_features, tiny_dataset.train_labels)
+        assert model._packed() is not first

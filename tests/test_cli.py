@@ -56,6 +56,17 @@ class TestParser:
         args = build_parser().parse_args(["map", "--partitions", "2,4"])
         assert args.partitions == [2, 4]
 
+    def test_predict_defaults(self):
+        args = build_parser().parse_args(["predict"])
+        assert args.command == "predict"
+        assert args.engine == "packed"
+        assert args.batch_size == 1024
+        assert args.workers == 1
+
+    def test_predict_rejects_unknown_engine(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["predict", "--engine", "quantum"])
+
 
 class TestCommands:
     def test_info_command(self, capsys):
@@ -135,6 +146,82 @@ class TestCommands:
             assert archive["binary_am"].shape == (16, 64)
             assert archive["projection"].shape == (784, 64)
             assert archive["column_classes"].shape == (16,)
+
+    def test_predict_command_both_engines(self, capsys):
+        exit_code = main(
+            [
+                "predict",
+                "--dataset",
+                "mnist",
+                "--scale",
+                "0.01",
+                "--dimension",
+                "64",
+                "--columns",
+                "32",
+                "--epochs",
+                "1",
+                "--engine",
+                "both",
+                "--batch-size",
+                "32",
+                "--repeats",
+                "1",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "packed" in output
+        assert "float" in output
+        assert "queries_per_s" in output
+        assert "speedup" in output
+
+    def test_predict_command_packed_engine_with_workers(self, capsys):
+        exit_code = main(
+            [
+                "predict",
+                "--dataset",
+                "mnist",
+                "--scale",
+                "0.01",
+                "--dimension",
+                "64",
+                "--columns",
+                "32",
+                "--epochs",
+                "1",
+                "--engine",
+                "packed",
+                "--batch-size",
+                "16",
+                "--workers",
+                "2",
+                "--repeats",
+                "1",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "packed" in output
+
+    def test_predict_command_rejects_unwired_model(self, capsys):
+        exit_code = main(
+            [
+                "predict",
+                "--dataset",
+                "mnist",
+                "--scale",
+                "0.01",
+                "--model",
+                "searchd",
+                "--epochs",
+                "1",
+                "--engine",
+                "packed",
+            ]
+        )
+        assert exit_code == 2
+        assert "packed engine" in capsys.readouterr().err
 
     def test_map_command_prints_table2(self, capsys):
         exit_code = main(["map", "--dataset", "mnist", "--rows", "128", "--cols", "128"])

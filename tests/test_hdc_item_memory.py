@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.hdc.hypervector import bipolarize, random_bipolar_hypervectors
+from repro.hdc.hypervector import bipolarize
 from repro.hdc.item_memory import ItemMemory
 
 

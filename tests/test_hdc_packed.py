@@ -1,0 +1,226 @@
+"""Unit tests for the bit-packed similarity engine (repro.hdc.packed)."""
+
+import numpy as np
+import pytest
+
+from repro.core.associative_memory import MultiCentroidAM
+from repro.hdc import _packed_kernels as kernels
+from repro.hdc.packed import (
+    PackedAM,
+    PackedVectors,
+    kernel_backend,
+    pack_binary,
+    pack_bipolar,
+    packed_dot_similarity,
+    packed_hamming_distance,
+    words_per_vector,
+)
+from repro.hdc.similarity import dot_similarity, hamming_distance
+
+#: Dimensions that exercise single-word, word-aligned and tail-word packing.
+DIMENSIONS = [1, 7, 63, 64, 65, 128, 130, 200]
+
+
+def random_binary(n, dimension, seed=0):
+    return np.random.default_rng(seed).integers(0, 2, size=(n, dimension)).astype(
+        np.int8
+    )
+
+
+class TestPacking:
+    def test_words_per_vector(self):
+        assert words_per_vector(1) == 1
+        assert words_per_vector(64) == 1
+        assert words_per_vector(65) == 2
+        with pytest.raises(ValueError):
+            words_per_vector(0)
+
+    @pytest.mark.parametrize("dimension", DIMENSIONS)
+    def test_binary_roundtrip(self, dimension):
+        vectors = random_binary(5, dimension, seed=dimension)
+        packed = pack_binary(vectors)
+        assert packed.words.shape == (5, words_per_vector(dimension))
+        assert np.array_equal(packed.unpack(), vectors)
+
+    @pytest.mark.parametrize("dimension", DIMENSIONS)
+    def test_bipolar_roundtrip(self, dimension):
+        vectors = (2 * random_binary(4, dimension, seed=dimension) - 1).astype(np.int8)
+        packed = pack_bipolar(vectors)
+        assert np.array_equal(packed.unpack(), vectors)
+
+    @pytest.mark.parametrize("dimension", [63, 65, 130])
+    def test_tail_bits_are_zero(self, dimension):
+        packed = pack_binary(np.ones((3, dimension), dtype=np.int8))
+        bits = np.unpackbits(packed.words.view(np.uint8), axis=-1, bitorder="little")
+        assert not bits[:, dimension:].any()
+
+    def test_single_vector_packs_as_one_row(self):
+        packed = pack_binary(np.array([1, 0, 1], dtype=np.int8))
+        assert packed.words.shape == (1, 1)
+        assert len(packed) == 1
+
+    def test_float_inputs_accepted(self):
+        packed = pack_bipolar(np.array([[1.0, -1.0, 1.0]]))
+        assert np.array_equal(packed.unpack(), [[1, -1, 1]])
+
+    def test_alphabet_validation(self):
+        with pytest.raises(ValueError):
+            pack_binary(np.array([[0, 1, 2]]))
+        with pytest.raises(ValueError):
+            pack_bipolar(np.array([[0, 1, -1]]))
+
+    def test_packed_vectors_validation(self):
+        words = np.zeros((2, 2), dtype=np.uint64)
+        with pytest.raises(ValueError):
+            PackedVectors(words=words, dimension=64, alphabet="binary")
+        with pytest.raises(ValueError):
+            PackedVectors(words=words, dimension=128, alphabet="ternary")
+
+    def test_nbytes_is_eight_bytes_per_word(self):
+        packed = pack_binary(random_binary(3, 130))
+        assert packed.nbytes == 3 * words_per_vector(130) * 8
+
+
+class TestPackedSimilarity:
+    @pytest.mark.parametrize("dimension", DIMENSIONS)
+    def test_binary_dot_equivalence(self, dimension):
+        q = random_binary(6, dimension, seed=1)
+        r = random_binary(4, dimension, seed=2)
+        expected = q.astype(np.int64) @ r.astype(np.int64).T
+        assert np.array_equal(
+            packed_dot_similarity(pack_binary(q), pack_binary(r)), expected
+        )
+
+    @pytest.mark.parametrize("dimension", DIMENSIONS)
+    def test_bipolar_dot_equivalence(self, dimension):
+        q = (2 * random_binary(6, dimension, seed=3) - 1).astype(np.int8)
+        r = (2 * random_binary(4, dimension, seed=4) - 1).astype(np.int8)
+        expected = q.astype(np.int64) @ r.astype(np.int64).T
+        assert np.array_equal(
+            packed_dot_similarity(pack_bipolar(q), pack_bipolar(r)), expected
+        )
+
+    @pytest.mark.parametrize("dimension", DIMENSIONS)
+    def test_hamming_equivalence(self, dimension):
+        q = random_binary(5, dimension, seed=5)
+        r = random_binary(3, dimension, seed=6)
+        assert np.array_equal(
+            packed_hamming_distance(pack_binary(q), pack_binary(r)),
+            hamming_distance(q, r),
+        )
+
+    def test_alphabet_mismatch_raises(self):
+        q = pack_binary(random_binary(2, 32))
+        r = pack_bipolar((2 * random_binary(2, 32, seed=1) - 1).astype(np.int8))
+        with pytest.raises(ValueError):
+            packed_dot_similarity(q, r)
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            packed_dot_similarity(
+                pack_binary(random_binary(2, 32)), pack_binary(random_binary(2, 33))
+            )
+
+    def test_similarity_packed_flag_squeezes_like_unpacked(self):
+        q = np.array([1, 0, 1, 1], dtype=np.int8)
+        r = random_binary(3, 4, seed=7)
+        packed = dot_similarity(q, r, packed=True)
+        unpacked = dot_similarity(q, r)
+        assert packed.shape == unpacked.shape == (3,)
+        assert np.array_equal(packed, unpacked)
+        assert dot_similarity(q, q, packed=True) == dot_similarity(q, q)
+
+    def test_similarity_packed_flag_rejects_other_alphabets(self):
+        with pytest.raises(ValueError):
+            dot_similarity(np.array([[0.5, 1.0]]), np.array([[1.0, 0.0]]), packed=True)
+
+
+class TestKernelBackends:
+    def test_backend_name_is_known(self):
+        assert kernel_backend() in ("native", "numpy")
+
+    def test_numpy_backend_matches_active_backend(self):
+        q = pack_binary(random_binary(9, 200, seed=8))
+        r = pack_binary(random_binary(33, 200, seed=9))  # > one numpy block
+        active_and = packed_dot_similarity(q, r)
+        active_xor = packed_hamming_distance(q, r)
+        kernels.set_backend("numpy")
+        try:
+            assert np.array_equal(packed_dot_similarity(q, r), active_and)
+            assert np.array_equal(packed_hamming_distance(q, r), active_xor)
+        finally:
+            kernels.set_backend(None)
+
+    def test_set_backend_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            kernels.set_backend("fpga")
+
+    def test_kernels_reject_bad_operands(self):
+        words = np.zeros((2, 2), dtype=np.uint64)
+        with pytest.raises(ValueError):
+            kernels.and_popcount(words, np.zeros((2, 3), dtype=np.uint64))
+        with pytest.raises(ValueError):
+            kernels.and_popcount(words.astype(np.int64), words)
+
+
+class TestPackedAM:
+    @pytest.fixture()
+    def am(self):
+        rng = np.random.default_rng(11)
+        fp = rng.normal(size=(10, 70))  # odd dimension -> tail word
+        classes = np.array([0, 0, 1, 1, 1, 2, 2, 3, 3, 3])
+        return MultiCentroidAM(fp, classes, num_classes=4)
+
+    def test_scores_match_float_path(self, am):
+        queries = random_binary(12, am.dimension, seed=12)
+        float_scores = am.scores(queries)
+        packed_scores = am.scores(queries, packed=True)
+        assert np.array_equal(packed_scores, float_scores.astype(np.int64))
+
+    def test_predictions_and_class_scores_match(self, am):
+        queries = random_binary(20, am.dimension, seed=13)
+        assert np.array_equal(am.predict(queries), am.predict(queries, packed=True))
+        assert np.array_equal(
+            am.class_scores(queries), am.class_scores(queries, packed=True)
+        )
+
+    def test_single_query_squeeze(self, am):
+        query = random_binary(1, am.dimension, seed=14)[0]
+        assert am.scores(query, packed=True).shape == (am.num_columns,)
+
+    def test_packed_mirror_is_cached_and_invalidated(self, am):
+        first = am.packed()
+        assert am.packed() is first
+        am.fp_memory += 1.0
+        am.refresh_binary()
+        assert am.packed() is not first
+
+    def test_packed_am_standalone(self, am):
+        packed_am = PackedAM.from_binary_memory(
+            am.binary_memory, am.column_classes, am.num_classes
+        )
+        queries = random_binary(5, am.dimension, seed=15)
+        assert np.array_equal(packed_am.predict(queries), am.predict(queries))
+        assert packed_am.num_columns == am.num_columns
+        assert packed_am.dimension == am.dimension
+        assert packed_am.columns_per_class() == am.columns_per_class()
+
+    def test_memory_is_packed_eight_to_one(self, am):
+        packed_am = am.packed()
+        words = words_per_vector(am.dimension)
+        assert packed_am.memory_bytes() == am.num_columns * words * 8
+        # Word-aligned dimensions give the exact 8x cut over int8 storage.
+        aligned = random_binary(8, 128, seed=20)
+        aligned_am = PackedAM.from_binary_memory(aligned, np.arange(8) % 3)
+        assert aligned_am.memory_bytes() * 8 == aligned.nbytes
+
+    def test_query_dimension_mismatch(self, am):
+        with pytest.raises(ValueError):
+            am.packed().scores(random_binary(2, am.dimension + 1))
+
+    def test_column_class_validation(self):
+        memory = random_binary(4, 32)
+        with pytest.raises(ValueError):
+            PackedAM.from_binary_memory(memory, np.array([0, 1]))
+        with pytest.raises(ValueError):
+            PackedAM.from_binary_memory(memory, np.array([0, 1, 2, 3]), num_classes=2)

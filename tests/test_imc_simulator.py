@@ -186,3 +186,36 @@ class TestNoiseInjection:
         b = InMemoryInference(model, IMCArrayConfig(32, 32), noise=noise, rng=11)
         features = tiny_dataset.test_features[:20]
         assert np.array_equal(a.predict(features), b.predict(features))
+
+
+class TestDigitalReference:
+    def test_reference_predict_matches_model(self, engine_and_model, tiny_dataset):
+        engine, model = engine_and_model
+        features = tiny_dataset.test_features[:25]
+        assert np.array_equal(
+            engine.reference_predict(features), model.predict(features)
+        )
+
+    def test_reference_is_noise_immune(self, tiny_dataset, trained_memhd):
+        model, _ = trained_memhd
+        noisy = InMemoryInference(
+            model,
+            IMCArrayConfig(32, 32),
+            noise=NoiseModel(bit_flip_probability=0.2),
+            rng=3,
+        )
+        features = tiny_dataset.test_features[:25]
+        # The digital reference uses the software artifacts, not the noisy
+        # mapped cells, so it stays bit-identical to the software model.
+        assert np.array_equal(
+            noisy.reference_predict(features), model.predict(features)
+        )
+
+    def test_matches_software_model_with_packed_engine(self, engine_and_model, tiny_dataset):
+        engine, _ = engine_and_model
+        features = tiny_dataset.test_features[:25]
+        assert engine.matches_software_model(features, engine="packed")
+
+    def test_digital_reference_is_cached(self, engine_and_model):
+        engine, _ = engine_and_model
+        assert engine.digital_reference() is engine.digital_reference()

@@ -26,6 +26,12 @@ from repro.hdc.similarity import (
     hamming_distance,
     hamming_similarity,
 )
+from repro.hdc.packed import (
+    pack_binary,
+    pack_bipolar,
+    packed_dot_similarity,
+    packed_hamming_distance,
+)
 from repro.imc.array import IMCArrayConfig
 from repro.imc.mapping import AMStructure, analyze_am_mapping, tile_matrix
 from repro.imc.noise import flip_bits
@@ -144,6 +150,73 @@ class TestSimilarityProperties:
         bc = hamming_distance(b, c)
         ac = hamming_distance(a, c)
         assert ac <= ab + bc
+
+
+# --------------------------------------------------------------------------
+# Packed-engine equivalence invariants
+# --------------------------------------------------------------------------
+def _paired_batches(draw, elements, max_rows=6, max_cols=130):
+    """Draw two batches sharing a dimension, biased toward odd tail sizes."""
+    dimension = draw(st.integers(1, max_cols))
+
+    def batch():
+        rows = draw(st.integers(1, max_rows))
+        return draw(
+            hnp.arrays(dtype=np.int8, shape=(rows, dimension), elements=elements)
+        )
+    return batch(), batch()
+
+
+class TestPackedEquivalenceProperties:
+    """The bit-packed engine must be bit-exact with the unpacked paths.
+
+    Dimensions are drawn from [1, 130], so single-word, word-aligned and
+    odd tail-word (mask-needing) layouts are all exercised.
+    """
+
+    @given(st.data())
+    def test_binary_dot_matches_unpacked(self, data):
+        q, r = _paired_batches(data.draw, st.integers(0, 1))
+        expected = q.astype(np.int64) @ r.astype(np.int64).T
+        assert np.array_equal(
+            packed_dot_similarity(pack_binary(q), pack_binary(r)), expected
+        )
+        assert np.array_equal(dot_similarity(q, r, packed=True), expected)
+
+    @given(st.data())
+    def test_bipolar_dot_matches_unpacked(self, data):
+        q, r = _paired_batches(data.draw, st.sampled_from([-1, 1]))
+        expected = q.astype(np.int64) @ r.astype(np.int64).T
+        assert np.array_equal(
+            packed_dot_similarity(pack_bipolar(q), pack_bipolar(r)), expected
+        )
+        assert np.array_equal(dot_similarity(q, r, packed=True), expected)
+
+    @given(st.data())
+    def test_hamming_matches_unpacked(self, data):
+        q, r = _paired_batches(data.draw, st.integers(0, 1))
+        assert np.array_equal(
+            packed_hamming_distance(pack_binary(q), pack_binary(r)),
+            hamming_distance(q, r),
+        )
+        assert np.array_equal(
+            hamming_distance(q, r, packed=True), hamming_distance(q, r)
+        )
+
+    @given(st.data())
+    def test_bipolar_dot_hamming_identity_packed(self, data):
+        q, r = _paired_batches(data.draw, st.sampled_from([-1, 1]))
+        dimension = q.shape[1]
+        dot = packed_dot_similarity(pack_bipolar(q), pack_bipolar(r))
+        hamming = packed_hamming_distance(pack_bipolar(q), pack_bipolar(r))
+        assert np.array_equal(dot, dimension - 2 * hamming)
+
+    @given(st.data())
+    def test_pack_unpack_roundtrip(self, data):
+        q, _ = _paired_batches(data.draw, st.integers(0, 1))
+        assert np.array_equal(pack_binary(q).unpack(), q)
+        bipolar = (2 * q - 1).astype(np.int8)
+        assert np.array_equal(pack_bipolar(bipolar).unpack(), bipolar)
 
 
 # --------------------------------------------------------------------------

@@ -22,6 +22,7 @@ PUBLIC_MODULES = [
     "repro.hdc.clustering",
     "repro.hdc.item_memory",
     "repro.hdc.memory_model",
+    "repro.hdc.packed",
     "repro.data",
     "repro.data.datasets",
     "repro.data.synthetic",
@@ -51,6 +52,8 @@ PUBLIC_MODULES = [
     "repro.imc.adc",
     "repro.imc.scheduler",
     "repro.imc.analysis",
+    "repro.runtime",
+    "repro.runtime.pipeline",
     "repro.eval",
     "repro.eval.metrics",
     "repro.eval.experiments",
@@ -68,7 +71,16 @@ def test_module_imports_and_has_docstring(module_name):
 
 @pytest.mark.parametrize(
     "module_name",
-    ["repro", "repro.hdc", "repro.data", "repro.baselines", "repro.core", "repro.imc", "repro.eval"],
+    [
+        "repro",
+        "repro.hdc",
+        "repro.data",
+        "repro.baselines",
+        "repro.core",
+        "repro.imc",
+        "repro.runtime",
+        "repro.eval",
+    ],
 )
 def test_all_exports_resolve(module_name):
     module = importlib.import_module(module_name)

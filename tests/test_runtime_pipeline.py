@@ -1,0 +1,155 @@
+"""Tests for the batched inference pipeline (repro.runtime)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BasicHDC, BasicHDCConfig, QuantHD, QuantHDConfig
+from repro.runtime import InferencePipeline, PipelineStats
+from repro.runtime.pipeline import throughput_comparison
+
+
+class TestPipelineBasics:
+    def test_invalid_configuration_rejected(self, trained_memhd):
+        model, _ = trained_memhd
+        with pytest.raises(ValueError):
+            InferencePipeline(model, engine="quantum")
+        with pytest.raises(ValueError):
+            InferencePipeline(model, chunk_size=0)
+        with pytest.raises(ValueError):
+            InferencePipeline(model, workers=0)
+        with pytest.raises(TypeError):
+            InferencePipeline(object())
+
+    def test_labels_match_direct_predict(self, trained_memhd, tiny_dataset):
+        model, _ = trained_memhd
+        direct = model.predict(tiny_dataset.test_features)
+        for engine in ("float", "packed"):
+            for chunk_size in (7, 32, 10_000):
+                pipeline = InferencePipeline(
+                    model, engine=engine, chunk_size=chunk_size
+                )
+                assert np.array_equal(
+                    pipeline.predict(tiny_dataset.test_features), direct
+                ), f"engine={engine} chunk_size={chunk_size}"
+
+    def test_sharded_run_matches_serial(self, trained_memhd, tiny_dataset):
+        model, _ = trained_memhd
+        serial = InferencePipeline(model, engine="packed", chunk_size=9)
+        sharded = InferencePipeline(model, engine="packed", chunk_size=9, workers=4)
+        assert np.array_equal(
+            serial.predict(tiny_dataset.test_features),
+            sharded.predict(tiny_dataset.test_features),
+        )
+
+    def test_single_vector_batch(self, trained_memhd, tiny_dataset):
+        model, _ = trained_memhd
+        pipeline = InferencePipeline(model, engine="packed")
+        labels = pipeline.predict(tiny_dataset.test_features[0])
+        assert labels.shape == (1,)
+        assert labels[0] == model.predict(tiny_dataset.test_features[:1])[0]
+
+    def test_stats_account_for_all_chunks(self, trained_memhd, tiny_dataset):
+        model, _ = trained_memhd
+        total = tiny_dataset.test_features.shape[0]
+        chunk_size = 13
+        result = InferencePipeline(model, chunk_size=chunk_size).run(
+            tiny_dataset.test_features
+        )
+        stats = result.stats
+        assert isinstance(stats, PipelineStats)
+        assert stats.total_queries == total
+        assert stats.num_chunks == -(-total // chunk_size)
+        assert len(stats.chunk_seconds) == stats.num_chunks
+        assert stats.elapsed_seconds > 0
+        assert stats.queries_per_second > 0
+        assert stats.as_dict()["engine"] == "float"
+
+    def test_warmup_is_idempotent(self, trained_memhd):
+        model, _ = trained_memhd
+        pipeline = InferencePipeline(model, engine="packed")
+        pipeline.warmup()
+        packed_am = model.associative_memory.packed()
+        pipeline.warmup()
+        assert model.associative_memory.packed() is packed_am
+
+
+class TestModelIntegration:
+    def test_make_pipeline_defaults_to_packed(self, trained_memhd):
+        model, _ = trained_memhd
+        pipeline = model.make_pipeline()
+        assert pipeline.engine == "packed"
+        assert pipeline.model is model
+
+    def test_basichdc_packed_pipeline(self, tiny_dataset):
+        model = BasicHDC(
+            tiny_dataset.num_features,
+            tiny_dataset.num_classes,
+            BasicHDCConfig(dimension=96, refine_epochs=1, seed=5),
+        )
+        model.fit(tiny_dataset.train_features, tiny_dataset.train_labels)
+        pipeline = InferencePipeline(model, engine="packed", chunk_size=11)
+        assert np.array_equal(
+            pipeline.predict(tiny_dataset.test_features),
+            model.predict(tiny_dataset.test_features),
+        )
+
+    def test_quanthd_packed_pipeline(self, tiny_dataset):
+        model = QuantHD(
+            tiny_dataset.num_features,
+            tiny_dataset.num_classes,
+            QuantHDConfig(dimension=96, num_levels=8, epochs=1, seed=6),
+        )
+        model.fit(tiny_dataset.train_features, tiny_dataset.train_labels)
+        pipeline = InferencePipeline(model, engine="packed", chunk_size=11)
+        assert np.array_equal(
+            pipeline.predict(tiny_dataset.test_features),
+            model.predict(tiny_dataset.test_features),
+        )
+
+    def test_packed_engine_rejected_for_unsupported_model(self):
+        class FloatOnly:
+            def predict(self, features):
+                return np.zeros(len(features), dtype=np.int64)
+
+        assert InferencePipeline(FloatOnly()).engine == "float"
+        with pytest.raises(ValueError):
+            InferencePipeline(FloatOnly(), engine="packed")
+
+    def test_kwargs_swallowing_model_is_not_packed_capable(self):
+        class Swallows:
+            def predict(self, features, **kwargs):
+                return np.zeros(len(features), dtype=np.int64)
+
+        # A bare **kwargs would silently ignore the engine keyword, so it
+        # must not count as packed support.
+        with pytest.raises(ValueError):
+            InferencePipeline(Swallows(), engine="packed")
+
+    def test_float_only_models_still_serve(self, tiny_dataset):
+        class Majority:
+            def predict(self, features):
+                return np.ones(np.atleast_2d(features).shape[0], dtype=np.int64)
+
+        pipeline = InferencePipeline(Majority(), chunk_size=8)
+        labels = pipeline.predict(tiny_dataset.test_features)
+        assert labels.shape == (tiny_dataset.test_features.shape[0],)
+        assert (labels == 1).all()
+
+
+class TestThroughputComparison:
+    def test_engines_compared_on_identical_labels(self, trained_memhd, tiny_dataset):
+        model, _ = trained_memhd
+        labels, stats = throughput_comparison(
+            model, tiny_dataset.test_features, chunk_size=16, repeats=2
+        )
+        assert np.array_equal(labels, model.predict(tiny_dataset.test_features))
+        assert [s.engine for s in stats] == ["float", "packed"]
+        for engine_stats in stats:
+            assert engine_stats.total_queries == tiny_dataset.test_features.shape[0]
+
+    def test_repeats_must_be_positive(self, trained_memhd, tiny_dataset):
+        model, _ = trained_memhd
+        with pytest.raises(ValueError):
+            throughput_comparison(model, tiny_dataset.test_features, repeats=0)
+        with pytest.raises(ValueError):
+            throughput_comparison(model, tiny_dataset.test_features, engines=())

@@ -13,8 +13,11 @@ paper depends on:
   clustering-based initialization, quantization-aware iterative learning),
 * :mod:`repro.imc` -- in-memory-computing array model, mapping analysis,
   cost model and a bit-exact functional inference simulator,
+* :mod:`repro.io` -- versioned model checkpoints and the on-disk artifact
+  registry (train once, serve forever),
 * :mod:`repro.runtime` -- batched inference pipeline (chunking, engine
-  selection, thread-pool sharding, throughput stats),
+  selection, thread-pool sharding, throughput stats) and the ``repro
+  serve`` HTTP daemon,
 * :mod:`repro.eval` -- metrics, experiment runners and report formatting.
 
 Quickstart::
@@ -38,9 +41,17 @@ from repro.baselines import BasicHDC, QuantHD, SearcHD, LeHDC
 from repro.data import load_dataset, Dataset
 from repro.hdc import PackedAM, pack_binary, pack_bipolar
 from repro.imc import IMCArrayConfig, InMemoryInference
-from repro.runtime import InferencePipeline, PipelineStats
+from repro.runtime import InferencePipeline, ModelServer, PipelineStats
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
+
+from repro.io import (  # noqa: E402 - needs __version__ for manifests
+    ArtifactRegistry,
+    CheckpointError,
+    CheckpointManifest,
+    load_checkpoint,
+    save_checkpoint,
+)
 
 __all__ = [
     "MEMHDConfig",
@@ -58,6 +69,12 @@ __all__ = [
     "IMCArrayConfig",
     "InMemoryInference",
     "InferencePipeline",
+    "ModelServer",
     "PipelineStats",
+    "ArtifactRegistry",
+    "CheckpointError",
+    "CheckpointManifest",
+    "load_checkpoint",
+    "save_checkpoint",
     "__version__",
 ]

@@ -117,6 +117,47 @@ class HDCClassifier(abc.ABC):
         """Accuracy of :meth:`predict` against ``labels``."""
         return accuracy(self.predict(features), np.asarray(labels))
 
+    # ---------------------------------------------------------- persistence
+    def checkpoint_arrays(self) -> Dict[str, np.ndarray]:
+        """Arrays that fully describe this fitted model for checkpointing.
+
+        Together with ``(num_features, num_classes, config)`` these arrays
+        must be sufficient for :meth:`from_checkpoint` to rebuild a model
+        whose ``predict`` is bit-identical to the original.  Models ship
+        concrete implementations; :mod:`repro.io.checkpoint` is the only
+        intended caller.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support checkpointing"
+        )
+
+    @classmethod
+    def from_checkpoint(
+        cls,
+        num_features: int,
+        num_classes: int,
+        config,
+        arrays: Dict[str, np.ndarray],
+        encoder_meta: Optional[Dict] = None,
+    ) -> "HDCClassifier":
+        """Rebuild a fitted model from :meth:`checkpoint_arrays` output.
+
+        Parameters
+        ----------
+        num_features / num_classes:
+            Input dimensionality and label count of the original model.
+        config:
+            The model's configuration dataclass instance.
+        arrays:
+            The mapping produced by :meth:`checkpoint_arrays`.
+        encoder_meta:
+            Encoder hyperparameters recorded in the checkpoint manifest
+            (``quantize_output``, ``binary_projection``, ID-Level value
+            range); ``None`` falls back to the model's construction
+            defaults.
+        """
+        raise NotImplementedError(f"{cls.__name__} does not support checkpointing")
+
     def _check_fit_inputs(
         self, features: np.ndarray, labels: np.ndarray
     ) -> tuple:

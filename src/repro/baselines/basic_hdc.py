@@ -16,12 +16,12 @@ higher-dimensional BasicHDC points in Fig. 3 are normally obtained.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Dict, Optional, Union
 
 import numpy as np
 
 from repro.baselines.base import HDCClassifier, TrainingHistory
-from repro.hdc.encoders import RandomProjectionEncoder
+from repro.hdc.encoders import RandomProjectionEncoder, check_encoder_shape
 from repro.hdc.hypervector import _as_generator, bipolarize
 from repro.hdc.memory_model import MemoryReport, model_memory_report
 from repro.hdc.packed import PackedVectors, pack_bipolar, packed_dot_similarity
@@ -76,6 +76,7 @@ class BasicHDC(HDCClassifier):
         num_classes: int,
         config: Optional[BasicHDCConfig] = None,
         rng: Optional[Union[int, np.random.Generator]] = None,
+        encoder: Optional[RandomProjectionEncoder] = None,
     ) -> None:
         if num_features <= 0 or num_classes <= 0:
             raise ValueError("num_features and num_classes must be positive")
@@ -84,9 +85,19 @@ class BasicHDC(HDCClassifier):
         self.num_classes = int(num_classes)
         seed = self.config.seed if rng is None else rng
         self._rng = _as_generator(seed)
-        self.encoder = RandomProjectionEncoder(
-            num_features, self.config.dimension, binary_projection=True, rng=self._rng
-        )
+        if encoder is not None:
+            # Adopt a pre-built encoder (checkpoint restoration) instead of
+            # drawing a fresh random projection.
+            self.encoder = check_encoder_shape(
+                encoder, self.num_features, self.config.dimension
+            )
+        else:
+            self.encoder = RandomProjectionEncoder(
+                num_features,
+                self.config.dimension,
+                binary_projection=True,
+                rng=self._rng,
+            )
         self._fp_am: Optional[np.ndarray] = None
         self._am: Optional[np.ndarray] = None
         self._packed_am: Optional[PackedVectors] = None
@@ -140,6 +151,39 @@ class BasicHDC(HDCClassifier):
             dimension=self.config.dimension,
             num_classes=self.num_classes,
         )
+
+    # ---------------------------------------------------------- persistence
+    def checkpoint_arrays(self) -> Dict[str, np.ndarray]:
+        """Arrays that fully describe this fitted model for checkpointing."""
+        if self._fp_am is None or self._am is None:
+            raise RuntimeError("model has not been fitted")
+        return {
+            "encoder_projection": self.encoder.projection,
+            "fp_am": self._fp_am,
+            "am": self._am,
+        }
+
+    @classmethod
+    def from_checkpoint(
+        cls,
+        num_features: int,
+        num_classes: int,
+        config: BasicHDCConfig,
+        arrays: Dict[str, np.ndarray],
+        encoder_meta: Optional[Dict] = None,
+    ) -> "BasicHDC":
+        """Rebuild a fitted model from :meth:`checkpoint_arrays` output."""
+        meta = encoder_meta or {}
+        encoder = RandomProjectionEncoder.from_projection(
+            arrays["encoder_projection"],
+            binary_projection=meta.get("binary_projection", True),
+            quantize_output=meta.get("quantize_output", True),
+        )
+        model = cls(num_features, num_classes, config, rng=config.seed, encoder=encoder)
+        model._fp_am = np.asarray(arrays["fp_am"], dtype=np.float64)
+        model._am = np.asarray(arrays["am"], dtype=np.float64)
+        model._packed_am = None
+        return model
 
     # ------------------------------------------------------------ internals
     @property

@@ -21,12 +21,12 @@ single-vector-per-class baselines) without an external DL framework.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Dict, Optional, Union
 
 import numpy as np
 
 from repro.baselines.base import HDCClassifier, TrainingHistory
-from repro.hdc.encoders import IDLevelEncoder
+from repro.hdc.encoders import IDLevelEncoder, check_encoder_shape
 from repro.hdc.hypervector import _as_generator, bipolarize
 from repro.hdc.memory_model import MemoryReport, model_memory_report
 from repro.eval.metrics import accuracy
@@ -101,6 +101,7 @@ class LeHDC(HDCClassifier):
         num_classes: int,
         config: Optional[LeHDCConfig] = None,
         rng: Optional[Union[int, np.random.Generator]] = None,
+        encoder: Optional[IDLevelEncoder] = None,
     ) -> None:
         if num_features <= 0 or num_classes <= 0:
             raise ValueError("num_features and num_classes must be positive")
@@ -109,12 +110,19 @@ class LeHDC(HDCClassifier):
         self.num_classes = int(num_classes)
         seed = self.config.seed if rng is None else rng
         self._rng = _as_generator(seed)
-        self.encoder = IDLevelEncoder(
-            num_features,
-            self.config.dimension,
-            num_levels=self.config.num_levels,
-            rng=self._rng,
-        )
+        if encoder is not None:
+            # Adopt a pre-built encoder (checkpoint restoration) instead of
+            # drawing fresh random codebooks.
+            self.encoder = check_encoder_shape(
+                encoder, self.num_features, self.config.dimension
+            )
+        else:
+            self.encoder = IDLevelEncoder(
+                num_features,
+                self.config.dimension,
+                num_levels=self.config.num_levels,
+                rng=self._rng,
+            )
         self._latent: Optional[np.ndarray] = None
         self._binary_am: Optional[np.ndarray] = None
 
@@ -192,6 +200,40 @@ class LeHDC(HDCClassifier):
             num_classes=self.num_classes,
             num_levels=self.config.num_levels,
         )
+
+    # ---------------------------------------------------------- persistence
+    def checkpoint_arrays(self) -> Dict[str, np.ndarray]:
+        """Arrays that fully describe this fitted model for checkpointing."""
+        if self._latent is None or self._binary_am is None:
+            raise RuntimeError("model has not been fitted")
+        return {
+            "encoder_id_vectors": self.encoder.id_vectors,
+            "encoder_level_vectors": self.encoder.level_vectors,
+            "latent": self._latent,
+            "binary_am": self._binary_am,
+        }
+
+    @classmethod
+    def from_checkpoint(
+        cls,
+        num_features: int,
+        num_classes: int,
+        config: LeHDCConfig,
+        arrays: Dict[str, np.ndarray],
+        encoder_meta: Optional[Dict] = None,
+    ) -> "LeHDC":
+        """Rebuild a fitted model from :meth:`checkpoint_arrays` output."""
+        meta = encoder_meta or {}
+        encoder = IDLevelEncoder.from_vectors(
+            arrays["encoder_id_vectors"],
+            arrays["encoder_level_vectors"],
+            value_range=(meta.get("value_low", 0.0), meta.get("value_high", 1.0)),
+            quantize_output=meta.get("quantize_output", True),
+        )
+        model = cls(num_features, num_classes, config, rng=config.seed, encoder=encoder)
+        model._latent = np.asarray(arrays["latent"], dtype=np.float64)
+        model._binary_am = np.asarray(arrays["binary_am"], dtype=np.float64)
+        return model
 
     # ------------------------------------------------------------ internals
     @property

@@ -22,13 +22,13 @@ and uses projection encoding, so its memory footprint is reported with
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Dict, Optional, Union
 
 import numpy as np
 
 from repro.baselines.base import HDCClassifier, TrainingHistory
 from repro.eval.metrics import accuracy
-from repro.hdc.encoders import RandomProjectionEncoder
+from repro.hdc.encoders import RandomProjectionEncoder, check_encoder_shape
 from repro.hdc.hypervector import _as_generator
 from repro.hdc.memory_model import MemoryReport, projection_encoder_bits
 
@@ -80,6 +80,7 @@ class OnlineHD(HDCClassifier):
         num_classes: int,
         config: Optional[OnlineHDConfig] = None,
         rng: Optional[Union[int, np.random.Generator]] = None,
+        encoder: Optional[RandomProjectionEncoder] = None,
     ) -> None:
         if num_features <= 0 or num_classes <= 0:
             raise ValueError("num_features and num_classes must be positive")
@@ -88,13 +89,20 @@ class OnlineHD(HDCClassifier):
         self.num_classes = int(num_classes)
         seed = self.config.seed if rng is None else rng
         self._rng = _as_generator(seed)
-        self.encoder = RandomProjectionEncoder(
-            num_features,
-            self.config.dimension,
-            binary_projection=True,
-            quantize_output=self.config.bipolar_encoding,
-            rng=self._rng,
-        )
+        if encoder is not None:
+            # Adopt a pre-built encoder (checkpoint restoration) instead of
+            # drawing a fresh random projection.
+            self.encoder = check_encoder_shape(
+                encoder, self.num_features, self.config.dimension
+            )
+        else:
+            self.encoder = RandomProjectionEncoder(
+                num_features,
+                self.config.dimension,
+                binary_projection=True,
+                quantize_output=self.config.bipolar_encoding,
+                rng=self._rng,
+            )
         self._am: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------ API
@@ -162,6 +170,36 @@ class OnlineHD(HDCClassifier):
         encoder_bits = projection_encoder_bits(self.num_features, self.config.dimension)
         am_bits = self.num_classes * self.config.dimension * 32
         return MemoryReport(model=self.name, encoder_bits=encoder_bits, am_bits=am_bits)
+
+    # ---------------------------------------------------------- persistence
+    def checkpoint_arrays(self) -> Dict[str, np.ndarray]:
+        """Arrays that fully describe this fitted model for checkpointing."""
+        if self._am is None:
+            raise RuntimeError("model has not been fitted")
+        return {
+            "encoder_projection": self.encoder.projection,
+            "am": self._am,
+        }
+
+    @classmethod
+    def from_checkpoint(
+        cls,
+        num_features: int,
+        num_classes: int,
+        config: OnlineHDConfig,
+        arrays: Dict[str, np.ndarray],
+        encoder_meta: Optional[Dict] = None,
+    ) -> "OnlineHD":
+        """Rebuild a fitted model from :meth:`checkpoint_arrays` output."""
+        meta = encoder_meta or {}
+        encoder = RandomProjectionEncoder.from_projection(
+            arrays["encoder_projection"],
+            binary_projection=meta.get("binary_projection", True),
+            quantize_output=meta.get("quantize_output", config.bipolar_encoding),
+        )
+        model = cls(num_features, num_classes, config, rng=config.seed, encoder=encoder)
+        model._am = np.asarray(arrays["am"], dtype=np.float64)
+        return model
 
     # ------------------------------------------------------------ internals
     @property

@@ -17,12 +17,12 @@ MVM-compatible, so it inherits the utilization problems of Fig. 1.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Dict, Optional, Union
 
 import numpy as np
 
 from repro.baselines.base import HDCClassifier, TrainingHistory
-from repro.hdc.encoders import IDLevelEncoder
+from repro.hdc.encoders import IDLevelEncoder, check_encoder_shape
 from repro.hdc.hypervector import _as_generator, random_bipolar_hypervectors
 from repro.hdc.memory_model import MemoryReport, model_memory_report
 from repro.hdc.similarity import dot_similarity
@@ -85,6 +85,7 @@ class SearcHD(HDCClassifier):
         num_classes: int,
         config: Optional[SearcHDConfig] = None,
         rng: Optional[Union[int, np.random.Generator]] = None,
+        encoder: Optional[IDLevelEncoder] = None,
     ) -> None:
         if num_features <= 0 or num_classes <= 0:
             raise ValueError("num_features and num_classes must be positive")
@@ -93,12 +94,19 @@ class SearcHD(HDCClassifier):
         self.num_classes = int(num_classes)
         seed = self.config.seed if rng is None else rng
         self._rng = _as_generator(seed)
-        self.encoder = IDLevelEncoder(
-            num_features,
-            self.config.dimension,
-            num_levels=self.config.num_levels,
-            rng=self._rng,
-        )
+        if encoder is not None:
+            # Adopt a pre-built encoder (checkpoint restoration) instead of
+            # drawing fresh random codebooks.
+            self.encoder = check_encoder_shape(
+                encoder, self.num_features, self.config.dimension
+            )
+        else:
+            self.encoder = IDLevelEncoder(
+                num_features,
+                self.config.dimension,
+                num_levels=self.config.num_levels,
+                rng=self._rng,
+            )
         # (k, N, D) bipolar class-vector tensor.
         self._am: Optional[np.ndarray] = None
 
@@ -158,6 +166,41 @@ class SearcHD(HDCClassifier):
             num_levels=self.config.num_levels,
             quantization_factor=self.config.num_models,
         )
+
+    # ---------------------------------------------------------- persistence
+    def checkpoint_arrays(self) -> Dict[str, np.ndarray]:
+        """Arrays that fully describe this fitted model for checkpointing."""
+        if self._am is None:
+            raise RuntimeError("model has not been fitted")
+        return {
+            "encoder_id_vectors": self.encoder.id_vectors,
+            "encoder_level_vectors": self.encoder.level_vectors,
+            "am": self._am,
+        }
+
+    @classmethod
+    def from_checkpoint(
+        cls,
+        num_features: int,
+        num_classes: int,
+        config: SearcHDConfig,
+        arrays: Dict[str, np.ndarray],
+        encoder_meta: Optional[Dict] = None,
+    ) -> "SearcHD":
+        """Rebuild a fitted model from :meth:`checkpoint_arrays` output."""
+        meta = encoder_meta or {}
+        encoder = IDLevelEncoder.from_vectors(
+            arrays["encoder_id_vectors"],
+            arrays["encoder_level_vectors"],
+            value_range=(meta.get("value_low", 0.0), meta.get("value_high", 1.0)),
+            quantize_output=meta.get("quantize_output", True),
+        )
+        model = cls(num_features, num_classes, config, rng=config.seed, encoder=encoder)
+        am = np.asarray(arrays["am"], dtype=np.int8)
+        if am.ndim != 3:
+            raise ValueError("SearcHD checkpoint AM must be a (k, N, D) tensor")
+        model._am = am
+        return model
 
     # ------------------------------------------------------------ internals
     @property

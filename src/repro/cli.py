@@ -1,21 +1,32 @@
 """Command-line interface for the MEMHD reproduction.
 
 Installed as ``repro`` (with a ``memhd-repro`` alias; see
-``pyproject.toml``); also runnable as ``python -m repro.cli``.  Five
+``pyproject.toml``); also runnable as ``python -m repro.cli``.  The
 subcommands cover the everyday workflows:
 
 ``repro info --dataset mnist``
     Print the dataset profile (features, classes, per-class budgets).
 
-``repro train --dataset fmnist --model memhd --dimension 128 --columns 128``
+``repro train --dataset fmnist --model memhd --save fmnist-memhd``
     Train one model, report train/test accuracy and the Table I memory
-    breakdown, optionally saving the trained artifacts to an ``.npz``.
+    breakdown, optionally checkpointing the trained model to a file
+    (``--save model.npz``) or into the artifact registry
+    (``--save name[:tag]``).
 
-``repro predict --dataset mnist --engine packed --batch-size 256``
-    Train a model, then serve the test split through the batched
+``repro predict --dataset mnist --load mnist-memhd --engine packed``
+    Serve the test split through the batched
     :class:`repro.runtime.InferencePipeline` with the selected similarity
     engine (``float`` / ``packed`` / ``both``) and report accuracy and
-    throughput.
+    throughput.  With ``--load`` the model comes from a checkpoint (no
+    retraining); without it the model is trained from scratch first.
+
+``repro serve --load mnist-memhd --port 8000``
+    Long-lived daemon: load a checkpoint into a warm pipeline and answer
+    JSON ``/predict`` / ``/healthz`` / ``/stats`` requests over HTTP.
+
+``repro models list|show|prune``
+    Inspect and garbage-collect the on-disk artifact registry
+    (``~/.cache/repro``, ``$REPRO_STORE`` or ``--store DIR``).
 
 ``repro map --dataset mnist --rows 128 --cols 128``
     Print the Table II mapping analysis (basic / partitioned / MEMHD) for an
@@ -24,24 +35,26 @@ subcommands cover the everyday workflows:
 ``repro sweep --dataset mnist --dimensions 64,128 --columns 64,128``
     Run the Fig. 4 style accuracy grid and print the heatmap.
 
-Every command accepts ``--scale`` to control how much of the paper-scale
-per-class sample budget the (synthetic or real) dataset provides, and
-``--seed`` for reproducibility.
+Every dataset-touching command accepts ``--scale`` to control how much of
+the paper-scale per-class sample budget the (synthetic or real) dataset
+provides, and ``--seed`` for reproducibility.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from typing import List, Optional, Sequence
-
-import numpy as np
 
 from repro.baselines import (
     BasicHDC,
     BasicHDCConfig,
     LeHDC,
     LeHDCConfig,
+    OnlineHD,
+    OnlineHDConfig,
     QuantHD,
     QuantHDConfig,
     SearcHD,
@@ -56,10 +69,20 @@ from repro.eval.reporting import format_heatmap, format_table
 from repro.hdc.packed import kernel_backend
 from repro.imc.analysis import full_mapping_report, improvement_factors, table2_rows
 from repro.imc.array import IMCArrayConfig
+from repro.io.checkpoint import (
+    CheckpointError,
+    checkpoint_path,
+    dataset_fingerprint,
+    load_checkpoint_with_manifest,
+    read_manifest,
+    save_checkpoint,
+)
+from repro.io.registry import ArtifactRegistry, RegistryError
 from repro.runtime.pipeline import throughput_comparison
+from repro.runtime.server import ModelServer
 
 #: Model families constructible from the command line.
-MODEL_CHOICES = ("memhd", "basichdc", "quanthd", "searchd", "lehdc")
+MODEL_CHOICES = ("memhd", "basichdc", "quanthd", "searchd", "lehdc", "onlinehd")
 
 
 def _int_list(text: str) -> List[int]:
@@ -116,6 +139,13 @@ def build_parser() -> argparse.ArgumentParser:
             help="number of levels L for the ID-Level baselines",
         )
 
+    def add_store_option(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--store", default=None, metavar="DIR",
+            help="artifact registry directory (default: $REPRO_STORE or "
+            "~/.cache/repro)",
+        )
+
     info = subparsers.add_parser("info", help="print a dataset profile summary")
     add_dataset_options(info)
 
@@ -123,9 +153,12 @@ def build_parser() -> argparse.ArgumentParser:
     add_dataset_options(train)
     add_model_options(train, epochs=20)
     train.add_argument(
-        "--save", default=None, metavar="PATH",
-        help="save the trained binary artifacts to an .npz file",
+        "--save", default=None, metavar="CKPT",
+        help="checkpoint the trained model: a spec ending in .npz or "
+        "containing a path separator saves to that file (.npz appended "
+        "when missing), anything else is a registry 'name[:tag]'",
     )
+    add_store_option(train)
 
     predict = subparsers.add_parser(
         "predict",
@@ -133,6 +166,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_dataset_options(predict)
     add_model_options(predict, epochs=5)
+    predict.add_argument(
+        "--load", default=None, metavar="CKPT",
+        help="serve a checkpointed model (path or registry 'name[:tag]') "
+        "instead of retraining; model hyperparameter flags are ignored",
+    )
+    add_store_option(predict)
     predict.add_argument(
         "--engine", default="packed", choices=("float", "packed", "both"),
         help="similarity engine ('both' compares float vs packed)",
@@ -148,6 +187,61 @@ def build_parser() -> argparse.ArgumentParser:
     predict.add_argument(
         "--repeats", type=int, default=3,
         help="timed repetitions per engine (best run is reported)",
+    )
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="long-lived daemon serving a checkpointed model over HTTP",
+    )
+    serve.add_argument(
+        "--load", required=True, metavar="CKPT",
+        help="checkpoint to serve (path or registry 'name[:tag]')",
+    )
+    add_store_option(serve)
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8000,
+        help="bind port (0 picks an ephemeral port)",
+    )
+    serve.add_argument(
+        "--engine", default="packed", choices=("float", "packed"),
+        help="similarity engine used for every request",
+    )
+    serve.add_argument(
+        "--batch-size", type=int, default=1024,
+        help="pipeline chunk size (query rows per chunk)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=1,
+        help="thread-pool width for sharding chunks within a request",
+    )
+
+    models = subparsers.add_parser(
+        "models", help="inspect and prune the on-disk artifact registry"
+    )
+    models_sub = models.add_subparsers(dest="models_command", required=True)
+    models_list = models_sub.add_parser("list", help="list stored checkpoints")
+    add_store_option(models_list)
+    models_list.add_argument(
+        "--name", default=None, help="only list tags of this artifact name"
+    )
+    models_show = models_sub.add_parser(
+        "show", help="print the manifest of one checkpoint"
+    )
+    add_store_option(models_show)
+    models_show.add_argument(
+        "spec", help="checkpoint path or registry 'name[:tag]'"
+    )
+    models_prune = models_sub.add_parser(
+        "prune", help="delete all but the newest tags of each artifact"
+    )
+    add_store_option(models_prune)
+    models_prune.add_argument(
+        "--name", default=None, help="only prune this artifact name"
+    )
+    models_prune.add_argument(
+        "--keep", type=int, default=3,
+        help="newest tags to retain per name (default 3)",
     )
 
     map_cmd = subparsers.add_parser(
@@ -241,20 +335,59 @@ def _build_model(args: argparse.Namespace, num_features: int, num_classes: int):
                 seed=args.seed,
             ),
         )
+    if args.model == "onlinehd":
+        return OnlineHD(
+            num_features,
+            num_classes,
+            OnlineHDConfig(
+                dimension=args.dimension,
+                epochs=args.epochs,
+                learning_rate=args.learning_rate,
+                seed=args.seed,
+            ),
+        )
     raise ValueError(f"unknown model {args.model!r}")
 
 
-def _save_artifacts(model, path: str) -> None:
-    """Persist the deployable binary artifacts of a trained model."""
-    arrays = {}
-    if isinstance(model, MEMHDModel):
-        am = model.associative_memory
-        arrays["binary_am"] = am.binary_memory
-        arrays["column_classes"] = am.column_classes
-        arrays["projection"] = model.projection_matrix_binary()
-    else:
-        arrays["associative_memory"] = np.asarray(model.associative_memory)
-    np.savez_compressed(path, **arrays)
+def _is_checkpoint_path(spec: str) -> bool:
+    """Whether a ``--save`` / ``--load`` spec is a file path (vs a registry name).
+
+    Deliberately deterministic: only the spelling of the spec decides
+    (``.npz`` suffix or a path separator), never what happens to exist in
+    the current directory, so the same spec always addresses the same
+    artifact.
+    """
+    return spec.endswith(".npz") or os.path.sep in spec
+
+
+def _save_trained_model(model, spec, store, dataset, metrics) -> str:
+    """Checkpoint a trained model to a path or into the registry.
+
+    Returns a human-readable description of where it went.
+    """
+    if _is_checkpoint_path(spec):
+        save_checkpoint(model, spec, dataset=dataset, metrics=metrics)
+        return checkpoint_path(spec)
+    registry = ArtifactRegistry(store)
+    name, _, tag = spec.partition(":")
+    entry = registry.save(
+        model, name, tag=tag or None, dataset=dataset, metrics=metrics
+    )
+    return f"{entry.spec} ({entry.path})"
+
+
+def _resolve_checkpoint_spec(spec, store):
+    """Resolve a ``--load`` spec (path or registry ``name[:tag]``) to a file."""
+    if _is_checkpoint_path(spec):
+        # Accept both the path as given and the .npz-suffixed form that
+        # save_checkpoint actually wrote.
+        return spec if os.path.isfile(spec) else checkpoint_path(spec)
+    return ArtifactRegistry(store).resolve(spec)
+
+
+def _load_saved_model(spec, store):
+    """Load a checkpoint (path or registry spec); returns (model, manifest)."""
+    return load_checkpoint_with_manifest(_resolve_checkpoint_spec(spec, store))
 
 
 def cmd_info(args: argparse.Namespace) -> int:
@@ -288,15 +421,53 @@ def cmd_train(args: argparse.Namespace) -> int:
     ]
     print(format_table(rows, float_format="{:.2f}", title="Training result"))
     if args.save:
-        _save_artifacts(model, args.save)
-        print(f"saved trained artifacts to {args.save}")
+        metrics = {
+            "train_accuracy": history.final_train_accuracy,
+            "test_accuracy": test_accuracy,
+        }
+        try:
+            destination = _save_trained_model(
+                model, args.save, args.store, dataset, metrics
+            )
+        except (CheckpointError, RegistryError, OSError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        print(f"saved checkpoint to {destination}")
     return 0
 
 
 def cmd_predict(args: argparse.Namespace) -> int:
     dataset = load_dataset(args.dataset, scale=args.scale, rng=args.seed)
-    model = _build_model(args, dataset.num_features, dataset.num_classes)
-    model.fit(dataset.train_features, dataset.train_labels)
+    if args.load:
+        try:
+            model, manifest = _load_saved_model(args.load, args.store)
+        except (CheckpointError, RegistryError, FileNotFoundError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        if getattr(model, "num_features", dataset.num_features) != dataset.num_features:
+            print(
+                f"error: checkpoint expects {model.num_features} features but "
+                f"dataset {dataset.name!r} has {dataset.num_features}",
+                file=sys.stderr,
+            )
+            return 2
+        saved = manifest.dataset
+        if saved and saved.get("sha256") != dataset_fingerprint(dataset)["sha256"]:
+            print(
+                f"warning: checkpoint was trained on "
+                f"{saved.get('name', 'unknown')!r} data with a different "
+                "fingerprint than the dataset being served",
+                file=sys.stderr,
+            )
+    else:
+        print(
+            "note: no --load given, so the model is retrained from scratch "
+            "on every invocation; run `repro train --save NAME` once and "
+            "reuse it with `repro predict --load NAME`",
+            file=sys.stderr,
+        )
+        model = _build_model(args, dataset.num_features, dataset.num_classes)
+        model.fit(dataset.train_features, dataset.train_labels)
 
     engines = ("float", "packed") if args.engine == "both" else (args.engine,)
     try:
@@ -379,10 +550,81 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    try:
+        model, manifest = _load_saved_model(args.load, args.store)
+    except (CheckpointError, RegistryError, FileNotFoundError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    try:
+        server = ModelServer(
+            model,
+            engine=args.engine,
+            chunk_size=args.batch_size,
+            workers=args.workers,
+            manifest=manifest,
+            host=args.host,
+            port=args.port,
+        )
+    except (ValueError, OSError) as error:
+        # OSError covers bind failures: port in use, privileged port, ...
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(
+        f"serving {manifest.model_name} ({manifest.model_class}) on "
+        f"{server.url} [engine={args.engine}, backend="
+        f"{kernel_backend() if args.engine == 'packed' else 'blas'}]"
+    )
+    print("endpoints: POST /predict, GET /healthz, GET /stats, GET /manifest")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.shutdown()
+    return 0
+
+
+def cmd_models(args: argparse.Namespace) -> int:
+    registry = ArtifactRegistry(args.store)
+    try:
+        if args.models_command == "list":
+            entries = registry.list_entries(args.name)
+            if not entries:
+                print(f"no checkpoints in store {registry.root}")
+                return 0
+            rows = [entry.summary() for entry in entries]
+            print(
+                format_table(
+                    rows,
+                    float_format="{:.1f}",
+                    title=f"Artifact store: {registry.root}",
+                )
+            )
+            return 0
+        if args.models_command == "show":
+            manifest = read_manifest(_resolve_checkpoint_spec(args.spec, args.store))
+            print(json.dumps(json.loads(manifest.to_json()), indent=2, sort_keys=True))
+            return 0
+        if args.models_command == "prune":
+            removed = registry.prune(name=args.name, keep=args.keep)
+            for path in removed:
+                print(f"removed {path}")
+            kept = len(registry.list_entries(args.name))
+            print(f"pruned {len(removed)} checkpoint(s); {kept} kept")
+            return 0
+    except (CheckpointError, RegistryError, FileNotFoundError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    raise ValueError(f"unknown models subcommand {args.models_command!r}")
+
+
 COMMANDS = {
     "info": cmd_info,
     "train": cmd_train,
     "predict": cmd_predict,
+    "serve": cmd_serve,
+    "models": cmd_models,
     "map": cmd_map,
     "sweep": cmd_sweep,
 }

@@ -209,6 +209,65 @@ class MultiCentroidAM:
         if subtract_rows.size:
             np.add.at(self.fp_memory, subtract_rows, -learning_rate * subtract_vectors)
 
+    # ---------------------------------------------------------- persistence
+    def checkpoint_arrays(self) -> Dict[str, np.ndarray]:
+        """Arrays that fully describe this AM for checkpointing.
+
+        Returns
+        -------
+        dict
+            ``fp_memory`` (the float shadow memory, so training can
+            resume), ``binary_memory`` (the deployed 1-bit memory, saved
+            verbatim so a restored AM predicts bit-identically even if the
+            quantization code evolves) and ``column_classes``.
+        """
+        return {
+            "fp_memory": self.fp_memory,
+            "binary_memory": self.binary_memory,
+            "column_classes": self.column_classes,
+        }
+
+    @classmethod
+    def from_checkpoint(
+        cls,
+        arrays: Dict[str, np.ndarray],
+        num_classes: int,
+        threshold_mode: str = "global-mean",
+        normalization: str = "zscore",
+    ) -> "MultiCentroidAM":
+        """Rebuild an AM from :meth:`checkpoint_arrays` output.
+
+        The saved ``binary_memory`` is adopted verbatim (not re-quantized
+        from ``fp_memory``), which makes restore bit-exact by construction.
+
+        Parameters
+        ----------
+        arrays:
+            Mapping with ``fp_memory``, ``binary_memory`` and
+            ``column_classes`` entries.
+        num_classes:
+            Total number of classes ``k``.
+        threshold_mode / normalization:
+            The quantization settings the AM was trained with (used by any
+            further :meth:`refresh_binary` calls).
+        """
+        am = cls(
+            np.asarray(arrays["fp_memory"], dtype=np.float64),
+            np.asarray(arrays["column_classes"], dtype=np.int64),
+            num_classes=num_classes,
+            threshold_mode=threshold_mode,
+            normalization=normalization,
+        )
+        binary = np.asarray(arrays["binary_memory"], dtype=np.int8)
+        if binary.shape != am.fp_memory.shape:
+            raise ValueError(
+                f"binary_memory shape {binary.shape} does not match "
+                f"fp_memory shape {am.fp_memory.shape}"
+            )
+        am.binary_memory = binary
+        am._packed_am = None
+        return am
+
     # -------------------------------------------------------------- utility
     def copy(self) -> "MultiCentroidAM":
         """Deep copy (used by experiments that branch a trained memory)."""

@@ -18,7 +18,7 @@ that :mod:`repro.imc` maps into IMC arrays for in-memory inference.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple, Union
+from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
@@ -31,7 +31,7 @@ from repro.core.initialization import (
     random_sampling_initialization,
 )
 from repro.core.training import QuantizationAwareTrainer
-from repro.hdc.encoders import RandomProjectionEncoder
+from repro.hdc.encoders import RandomProjectionEncoder, check_encoder_shape
 from repro.hdc.hypervector import _as_generator, to_binary
 from repro.hdc.memory_model import MemoryReport, model_memory_report
 from repro.runtime.pipeline import ENGINES, InferencePipeline
@@ -55,6 +55,7 @@ class MEMHDModel(HDCClassifier):
         num_classes: int,
         config: Optional[MEMHDConfig] = None,
         rng: Optional[Union[int, np.random.Generator]] = None,
+        encoder: Optional[RandomProjectionEncoder] = None,
     ) -> None:
         if num_features <= 0 or num_classes <= 0:
             raise ValueError("num_features and num_classes must be positive")
@@ -64,12 +65,19 @@ class MEMHDModel(HDCClassifier):
         self.num_classes = int(num_classes)
         seed = self.config.seed if rng is None else rng
         self._rng = _as_generator(seed)
-        self.encoder = RandomProjectionEncoder(
-            num_features,
-            self.config.dimension,
-            binary_projection=self.config.binary_projection,
-            rng=self._rng,
-        )
+        if encoder is not None:
+            # Adopt a pre-built encoder (checkpoint restoration) instead of
+            # drawing a fresh random projection.
+            self.encoder = check_encoder_shape(
+                encoder, self.num_features, self.config.dimension
+            )
+        else:
+            self.encoder = RandomProjectionEncoder(
+                num_features,
+                self.config.dimension,
+                binary_projection=self.config.binary_projection,
+                rng=self._rng,
+            )
         self._am: Optional[MultiCentroidAM] = None
         self._init_result: Optional[InitializationResult] = None
 
@@ -239,6 +247,60 @@ class MEMHDModel(HDCClassifier):
         return InferencePipeline(
             self, engine=engine, chunk_size=chunk_size, workers=workers
         )
+
+    # ---------------------------------------------------------- persistence
+    def checkpoint_arrays(self) -> Dict[str, np.ndarray]:
+        """Arrays that fully describe this fitted model for checkpointing.
+
+        Returns
+        -------
+        dict
+            ``encoder_projection`` plus the associative memory's arrays
+            (``fp_memory``, ``binary_memory``, ``column_classes``).
+            Training telemetry (:attr:`initialization`, epoch history) is
+            deliberately not checkpointed; only what inference and further
+            training need.
+        """
+        am = self._require_am()
+        arrays = {"encoder_projection": self.encoder.projection}
+        arrays.update(am.checkpoint_arrays())
+        return arrays
+
+    @classmethod
+    def from_checkpoint(
+        cls,
+        num_features: int,
+        num_classes: int,
+        config: MEMHDConfig,
+        arrays: Dict[str, np.ndarray],
+        encoder_meta: Optional[Dict] = None,
+    ) -> "MEMHDModel":
+        """Rebuild a fitted model from :meth:`checkpoint_arrays` output.
+
+        The restored model predicts bit-identically to the saved one on
+        both the float and the packed engine; it can also keep training
+        (the float shadow memory is part of the checkpoint), though epoch
+        history and initialization telemetry start fresh.
+        """
+        meta = encoder_meta or {}
+        encoder = RandomProjectionEncoder.from_projection(
+            arrays["encoder_projection"],
+            binary_projection=meta.get("binary_projection", config.binary_projection),
+            quantize_output=meta.get("quantize_output", True),
+        )
+        model = cls(num_features, num_classes, config, rng=config.seed, encoder=encoder)
+        model._am = MultiCentroidAM.from_checkpoint(
+            arrays,
+            num_classes=num_classes,
+            threshold_mode=config.threshold_mode,
+            normalization=config.normalization,
+        )
+        if model._am.dimension != config.dimension:
+            raise ValueError(
+                f"checkpoint AM dimension {model._am.dimension} does not "
+                f"match config dimension {config.dimension}"
+            )
+        return model
 
     # ------------------------------------------------------------ internals
     def _require_am(self) -> MultiCentroidAM:

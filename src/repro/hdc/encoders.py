@@ -92,6 +92,39 @@ class Encoder(abc.ABC):
         return encoded
 
 
+def check_encoder_shape(encoder: Encoder, num_features: int, dimension: int) -> Encoder:
+    """Validate that an adopted encoder matches a model's expected shape.
+
+    Models accept a pre-built ``encoder`` (checkpoint restoration, encoder
+    sharing) instead of drawing fresh random codebooks; this guards the
+    hand-off.
+
+    Parameters
+    ----------
+    encoder:
+        The encoder being adopted.
+    num_features / dimension:
+        The input width ``f`` and hypervector dimensionality ``D`` the
+        model was configured for.
+
+    Returns
+    -------
+    Encoder
+        ``encoder``, unchanged.
+
+    Raises
+    ------
+    ValueError
+        When the encoder's shape disagrees with the model's configuration.
+    """
+    if (encoder.num_features, encoder.dimension) != (num_features, dimension):
+        raise ValueError(
+            f"encoder shape ({encoder.num_features}, {encoder.dimension}) does "
+            f"not match the model configuration ({num_features}, {dimension})"
+        )
+    return encoder
+
+
 class RandomProjectionEncoder(Encoder):
     """Random-projection (MVM) encoder: ``H = sign(M^T F)``.
 
@@ -135,6 +168,49 @@ class RandomProjectionEncoder(Encoder):
             self.projection = random_gaussian_hypervectors(
                 num_features, dimension, gen, scale=1.0 / np.sqrt(num_features)
             )
+
+    @classmethod
+    def from_projection(
+        cls,
+        projection: np.ndarray,
+        binary_projection: bool = True,
+        quantize_output: bool = True,
+    ) -> "RandomProjectionEncoder":
+        """Rebuild an encoder around an existing projection matrix.
+
+        Used by checkpoint restoration (:mod:`repro.io.checkpoint`): the
+        saved ``(f, D)`` projection matrix is adopted verbatim instead of
+        drawing a fresh random one, so a restored encoder produces
+        bit-identical hypervectors.
+
+        Parameters
+        ----------
+        projection:
+            ``(f, D)`` projection matrix (bipolar ``int8`` entries when
+            ``binary_projection`` is true, ``float64`` otherwise).
+        binary_projection:
+            Whether ``projection`` holds ``{-1, +1}`` single-bit entries.
+        quantize_output:
+            Whether :meth:`encode` sign-quantizes its output.
+
+        Returns
+        -------
+        RandomProjectionEncoder
+            An encoder whose :meth:`encode` matches the saved one bit for
+            bit.
+        """
+        matrix = np.asarray(projection)
+        if matrix.ndim != 2:
+            raise ValueError("projection must be a 2-D (f, D) matrix")
+        self = object.__new__(cls)
+        Encoder.__init__(self, matrix.shape[0], matrix.shape[1])
+        self.binary_projection = bool(binary_projection)
+        self.quantize_output = bool(quantize_output)
+        if binary_projection:
+            self.projection = matrix.astype(np.int8)
+        else:
+            self.projection = matrix.astype(np.float64)
+        return self
 
     def encode(self, features: np.ndarray) -> np.ndarray:
         arr = self._validate(features)
@@ -214,6 +290,59 @@ class IDLevelEncoder(Encoder):
         self.quantize_output = bool(quantize_output)
         self.id_vectors = random_bipolar_hypervectors(num_features, dimension, gen)
         self.level_vectors = level_hypervectors(num_levels, dimension, gen)
+
+    @classmethod
+    def from_vectors(
+        cls,
+        id_vectors: np.ndarray,
+        level_vectors: np.ndarray,
+        value_range: tuple = (0.0, 1.0),
+        quantize_output: bool = True,
+    ) -> "IDLevelEncoder":
+        """Rebuild an encoder around existing ID and level hypervectors.
+
+        Used by checkpoint restoration (:mod:`repro.io.checkpoint`): the
+        saved ID / level codebooks are adopted verbatim instead of drawing
+        fresh random ones, so a restored encoder produces bit-identical
+        hypervectors.
+
+        Parameters
+        ----------
+        id_vectors:
+            ``(f, D)`` bipolar per-position ID hypervectors.
+        level_vectors:
+            ``(L, D)`` correlated level hypervectors.
+        value_range:
+            ``(low, high)`` quantization range of the original encoder.
+        quantize_output:
+            Whether :meth:`encode` sign-quantizes its output.
+
+        Returns
+        -------
+        IDLevelEncoder
+            An encoder whose :meth:`encode` matches the saved one bit for
+            bit.
+        """
+        ids = np.asarray(id_vectors)
+        levels = np.asarray(level_vectors)
+        if ids.ndim != 2 or levels.ndim != 2:
+            raise ValueError("id_vectors and level_vectors must be 2-D")
+        if ids.shape[1] != levels.shape[1]:
+            raise ValueError("id_vectors and level_vectors dimension mismatch")
+        if levels.shape[0] < 2:
+            raise ValueError("need at least 2 level hypervectors")
+        low, high = float(value_range[0]), float(value_range[1])
+        if not high > low:
+            raise ValueError("value_range must satisfy high > low")
+        self = object.__new__(cls)
+        Encoder.__init__(self, ids.shape[0], ids.shape[1])
+        self.num_levels = int(levels.shape[0])
+        self.value_low = low
+        self.value_high = high
+        self.quantize_output = bool(quantize_output)
+        self.id_vectors = ids
+        self.level_vectors = levels
+        return self
 
     def quantize_values(self, features: np.ndarray) -> np.ndarray:
         """Map raw feature values to integer level indices in ``[0, L-1]``."""

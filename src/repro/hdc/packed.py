@@ -247,6 +247,43 @@ class PackedAM:
         """Pack an ``(C, D)`` ``{-1, +1}`` class-vector matrix."""
         return cls(pack_bipolar(bipolar_memory), column_classes, num_classes)
 
+    # ---------------------------------------------------------- persistence
+    def checkpoint_arrays(self) -> Dict[str, np.ndarray]:
+        """Arrays that fully describe this packed AM for checkpointing.
+
+        Returns
+        -------
+        dict
+            ``words`` (the raw ``(C, W)`` ``uint64`` payload, saved as-is
+            so restore needs no re-packing) and ``column_classes``.
+        """
+        return {"words": self.memory.words, "column_classes": self.column_classes}
+
+    @classmethod
+    def from_checkpoint(
+        cls,
+        arrays: Dict[str, np.ndarray],
+        dimension: int,
+        alphabet: str,
+        num_classes: int,
+    ) -> "PackedAM":
+        """Rebuild a packed AM from :meth:`checkpoint_arrays` output.
+
+        Parameters
+        ----------
+        arrays:
+            Mapping with ``words`` and ``column_classes`` entries.
+        dimension:
+            Original element count ``D`` of each stored vector.
+        alphabet:
+            ``"binary"`` or ``"bipolar"`` (see :class:`PackedVectors`).
+        num_classes:
+            Total number of classes ``k``.
+        """
+        words = np.ascontiguousarray(np.asarray(arrays["words"], dtype=np.uint64))
+        memory = PackedVectors(words=words, dimension=int(dimension), alphabet=alphabet)
+        return cls(memory, arrays["column_classes"], num_classes)
+
     # ----------------------------------------------------------- properties
     @property
     def num_columns(self) -> int:

@@ -1,0 +1,49 @@
+"""Model persistence: versioned checkpoints and the artifact registry.
+
+The :mod:`repro.io` package is what turns the repository from a
+train-on-every-invocation benchmark collection into a train-once /
+serve-many system:
+
+* :mod:`repro.io.checkpoint` -- save/load any fitted model (MEMHD, the
+  five baselines, bare associative memories) to a single compressed,
+  versioned ``.npz`` with a self-describing manifest; restores are
+  bit-exact on both the float and packed engines.
+* :mod:`repro.io.registry` -- a filesystem artifact store
+  (``~/.cache/repro`` or ``--store DIR``) addressing checkpoints as
+  ``name:tag`` with ``latest`` resolution, listing, inspection and
+  pruning (surfaced as ``repro models ...`` on the CLI).
+"""
+
+from repro.io.checkpoint import (
+    SCHEMA_VERSION,
+    CheckpointError,
+    CheckpointManifest,
+    checkpoint_path,
+    dataset_fingerprint,
+    load_checkpoint,
+    load_checkpoint_with_manifest,
+    read_manifest,
+    save_checkpoint,
+)
+from repro.io.registry import (
+    ArtifactRegistry,
+    RegistryEntry,
+    RegistryError,
+    default_store,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "CheckpointError",
+    "CheckpointManifest",
+    "checkpoint_path",
+    "dataset_fingerprint",
+    "load_checkpoint",
+    "load_checkpoint_with_manifest",
+    "read_manifest",
+    "save_checkpoint",
+    "ArtifactRegistry",
+    "RegistryEntry",
+    "RegistryError",
+    "default_store",
+]

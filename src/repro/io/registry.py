@@ -1,0 +1,340 @@
+"""A tiny on-disk artifact registry for named, tagged checkpoints.
+
+:mod:`repro.io.checkpoint` turns a fitted model into one ``.npz`` file;
+this module gives those files a home and a naming scheme so the CLI (and
+any deployment script) can refer to models symbolically instead of by
+path:
+
+* artifacts live under one **store** directory -- ``~/.cache/repro`` by
+  default, overridable with the ``REPRO_STORE`` environment variable or
+  the CLI's ``--store DIR`` flag;
+* each artifact is addressed as ``name:tag`` (e.g. ``mnist-memhd:v3``);
+  omitting the tag, or using the reserved tag ``latest``, resolves to the
+  most recently saved tag of that name;
+* the registry is plain files -- ``<store>/<name>/<tag>.npz`` -- with no
+  index database, so it is trivially inspectable, rsync-able and robust
+  against crashes (the unit of atomicity is one checkpoint file).
+
+Operations: :meth:`ArtifactRegistry.save`, :meth:`~ArtifactRegistry.load`,
+:meth:`~ArtifactRegistry.resolve`, :meth:`~ArtifactRegistry.list_entries`,
+:meth:`~ArtifactRegistry.inspect`, :meth:`~ArtifactRegistry.remove` and
+:meth:`~ArtifactRegistry.prune` -- everything ``repro models`` exposes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import re
+import shutil
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.io.checkpoint import (
+    CheckpointError,
+    CheckpointManifest,
+    read_manifest,
+    save_checkpoint,
+    load_checkpoint,
+)
+
+#: Environment variable overriding the default store location.
+STORE_ENV_VAR = "REPRO_STORE"
+
+#: Reserved tag resolving to the most recently saved tag of a name.
+LATEST_TAG = "latest"
+
+#: Allowed artifact names and tags: path-safe, no separators or colons.
+_NAME_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+#: Auto-assigned tags are ``v1``, ``v2``, ...; used for default-tag bumping.
+_AUTO_TAG_PATTERN = re.compile(r"^v(\d+)$")
+
+
+class RegistryError(Exception):
+    """A registry operation failed (unknown name/tag, bad spec, ...)."""
+
+
+def default_store() -> str:
+    """The store directory used when none is given.
+
+    ``$REPRO_STORE`` when set, otherwise ``~/.cache/repro``.
+    """
+    env = os.environ.get(STORE_ENV_VAR)
+    if env:
+        return env
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro")
+
+
+def _check_component(value: str, kind: str) -> str:
+    if not _NAME_PATTERN.match(value):
+        raise RegistryError(
+            f"invalid artifact {kind} {value!r}: use letters, digits, dots, "
+            "underscores and dashes (must start alphanumeric)"
+        )
+    return value
+
+
+def split_spec(spec: str) -> Tuple[str, str]:
+    """Split a ``name`` / ``name:tag`` spec into ``(name, tag)``.
+
+    A missing tag resolves to :data:`LATEST_TAG`.
+    """
+    if ":" in spec:
+        name, _, tag = spec.partition(":")
+    else:
+        name, tag = spec, LATEST_TAG
+    _check_component(name, "name")
+    if tag != LATEST_TAG:
+        _check_component(tag, "tag")
+    return name, tag
+
+
+@dataclasses.dataclass(frozen=True)
+class RegistryEntry:
+    """One stored checkpoint as seen by listings.
+
+    Attributes
+    ----------
+    name / tag:
+        Registry address of the artifact (``name:tag``).
+    path:
+        Absolute path of the checkpoint file.
+    size_bytes:
+        On-disk size of the (compressed) checkpoint.
+    created_unix:
+        File modification time, which is also the ``latest`` ordering key.
+    manifest:
+        The checkpoint's parsed manifest.
+    """
+
+    name: str
+    tag: str
+    path: str
+    size_bytes: int
+    created_unix: float
+    manifest: CheckpointManifest
+
+    @property
+    def spec(self) -> str:
+        """The ``name:tag`` address of this entry."""
+        return f"{self.name}:{self.tag}"
+
+    def summary(self) -> Dict[str, Any]:
+        """Row for ``repro models list``."""
+        row: Dict[str, Any] = {"artifact": self.spec}
+        row.update(self.manifest.summary())
+        row["size_KiB"] = self.size_bytes / 1024.0
+        return row
+
+
+class ArtifactRegistry:
+    """Filesystem-backed registry of named + tagged model checkpoints.
+
+    Parameters
+    ----------
+    root:
+        Store directory.  Defaults to :func:`default_store`.  Created on
+        first write; read operations on a missing store simply see an
+        empty registry.
+    """
+
+    def __init__(self, root: Optional[str] = None) -> None:
+        self.root = Path(root or default_store()).expanduser()
+
+    # ------------------------------------------------------------ addressing
+    def path_for(self, name: str, tag: str) -> Path:
+        """The file path backing ``name:tag`` (which need not exist yet)."""
+        _check_component(name, "name")
+        _check_component(tag, "tag")
+        return self.root / name / f"{tag}.npz"
+
+    def names(self) -> List[str]:
+        """All artifact names with at least one stored tag, sorted."""
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            entry.name
+            for entry in self.root.iterdir()
+            if entry.is_dir() and any(entry.glob("*.npz"))
+        )
+
+    def tags(self, name: str) -> List[str]:
+        """Tags stored under ``name``, newest first.
+
+        Ordering is by file modification time; same-second saves of auto
+        tags (``v1``, ``v2``, ...) are tie-broken numerically so ``v10``
+        outranks ``v9``.
+        """
+        _check_component(name, "name")
+        directory = self.root / name
+        if not directory.is_dir():
+            return []
+
+        def order(path: Path):
+            match = _AUTO_TAG_PATTERN.match(path.stem)
+            number = int(match.group(1)) if match else 0
+            return (path.stat().st_mtime, number, path.stem)
+
+        files = sorted(directory.glob("*.npz"), key=order, reverse=True)
+        return [path.stem for path in files]
+
+    def resolve(self, spec: str) -> Path:
+        """Resolve ``name`` / ``name:tag`` / ``name:latest`` to a file path.
+
+        Raises
+        ------
+        RegistryError
+            When the name or tag does not exist in the store.
+        """
+        name, tag = split_spec(spec)
+        if tag == LATEST_TAG:
+            stored = self.tags(name)
+            if not stored:
+                raise RegistryError(f"no artifact named {name!r} in store {self.root}")
+            tag = stored[0]
+        path = self.path_for(name, tag)
+        if not path.is_file():
+            raise RegistryError(f"artifact {name}:{tag} not found in store {self.root}")
+        return path
+
+    # ------------------------------------------------------------- mutation
+    def save(
+        self,
+        model,
+        name: str,
+        tag: Optional[str] = None,
+        dataset=None,
+        metrics: Optional[Dict[str, Any]] = None,
+    ) -> RegistryEntry:
+        """Checkpoint ``model`` into the store as ``name:tag``.
+
+        Parameters
+        ----------
+        model:
+            Anything :func:`repro.io.checkpoint.save_checkpoint` accepts.
+        name:
+            Artifact name.
+        tag:
+            Explicit tag; omitted, the next free auto tag (``v1``, ``v2``,
+            ...) is assigned.  Re-using an existing tag overwrites it.
+        dataset / metrics:
+            Provenance forwarded into the checkpoint manifest.
+
+        Returns
+        -------
+        RegistryEntry
+            The stored entry (with its resolved tag).
+        """
+        _check_component(name, "name")
+        if tag is None:
+            tag = self._next_auto_tag(name)
+        elif tag == LATEST_TAG:
+            raise RegistryError(f"tag {LATEST_TAG!r} is reserved for resolution")
+        else:
+            _check_component(tag, "tag")
+        path = self.path_for(name, tag)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        save_checkpoint(model, path, dataset=dataset, metrics=metrics)
+        return self._entry(name, tag, path)
+
+    def remove(self, spec: str) -> Path:
+        """Delete one ``name:tag`` artifact; returns the removed path."""
+        name, tag = split_spec(spec)
+        if tag == LATEST_TAG:
+            raise RegistryError("refusing to remove by 'latest'; name an exact tag")
+        path = self.path_for(name, tag)
+        if not path.is_file():
+            raise RegistryError(f"artifact {name}:{tag} not found in store {self.root}")
+        path.unlink()
+        self._drop_if_empty(path.parent)
+        return path
+
+    def prune(self, name: Optional[str] = None, keep: int = 3) -> List[Path]:
+        """Delete all but the newest ``keep`` tags (per name).
+
+        Parameters
+        ----------
+        name:
+            Prune only this artifact name; ``None`` prunes every name.
+        keep:
+            Number of newest tags to retain per name (``0`` removes all).
+
+        Returns
+        -------
+        list of pathlib.Path
+            The checkpoint files that were deleted.
+
+        Raises
+        ------
+        RegistryError
+            On a negative ``keep``, or when ``name`` does not exist in the
+            store (so a typo'd prune cannot silently succeed).
+        """
+        if keep < 0:
+            raise RegistryError(f"keep must be non-negative, got {keep}")
+        if name is not None and not self.tags(_check_component(name, "name")):
+            raise RegistryError(f"no artifact named {name!r} in store {self.root}")
+        names = [name] if name is not None else self.names()
+        removed: List[Path] = []
+        for artifact in names:
+            for tag in self.tags(artifact)[keep:]:
+                path = self.path_for(artifact, tag)
+                path.unlink()
+                removed.append(path)
+            self._drop_if_empty(self.root / artifact)
+        return removed
+
+    # ------------------------------------------------------------ inspection
+    def load(self, spec: str, strict: bool = True):
+        """Resolve and load an artifact back into a fitted model."""
+        return load_checkpoint(self.resolve(spec), strict=strict)
+
+    def inspect(self, spec: str) -> CheckpointManifest:
+        """Resolve an artifact and return its manifest (no model build)."""
+        return read_manifest(self.resolve(spec))
+
+    def list_entries(self, name: Optional[str] = None) -> List[RegistryEntry]:
+        """All stored artifacts (optionally one name), newest first per name.
+
+        Unreadable files are skipped (a registry listing should never die
+        on one corrupt checkpoint); use :meth:`inspect` to see the error.
+        """
+        names = [_check_component(name, "name")] if name is not None else self.names()
+        entries: List[RegistryEntry] = []
+        for artifact in names:
+            for tag in self.tags(artifact):
+                try:
+                    entries.append(
+                        self._entry(artifact, tag, self.path_for(artifact, tag))
+                    )
+                except (CheckpointError, OSError):
+                    continue
+        return entries
+
+    # ------------------------------------------------------------- internals
+    def _entry(self, name: str, tag: str, path: Path) -> RegistryEntry:
+        stat = path.stat()
+        return RegistryEntry(
+            name=name,
+            tag=tag,
+            path=str(path),
+            size_bytes=int(stat.st_size),
+            created_unix=float(stat.st_mtime),
+            manifest=read_manifest(path),
+        )
+
+    def _next_auto_tag(self, name: str) -> str:
+        highest = 0
+        for tag in self.tags(name):
+            match = _AUTO_TAG_PATTERN.match(tag)
+            if match:
+                highest = max(highest, int(match.group(1)))
+        return f"v{highest + 1}"
+
+    def _drop_if_empty(self, directory: Path) -> None:
+        if directory.is_dir() and not any(directory.iterdir()):
+            shutil.rmtree(directory)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ArtifactRegistry(root={str(self.root)!r})"

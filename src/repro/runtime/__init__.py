@@ -1,10 +1,13 @@
-"""Serving runtime: batched, optionally parallel inference pipelines.
+"""Serving runtime: batched inference pipelines and the serve daemon.
 
 The :mod:`repro.runtime` package turns the trained models of
 :mod:`repro.core` and :mod:`repro.baselines` into a deployable serving
 path: :class:`InferencePipeline` chunks arbitrarily large query batches,
 keeps encoder/AM state warm across chunks, optionally shards chunks
-across a thread pool, and reports throughput statistics.  Combined with
+across a thread pool, and reports throughput statistics;
+:class:`ModelServer` keeps a checkpointed model resident behind a
+stdlib-only JSON-over-HTTP daemon (``repro serve``) so production-style
+traffic is answered by a warm model instead of a retrain.  Combined with
 the bit-packed similarity engine (:mod:`repro.hdc.packed`) this is the
 "runs as fast as the hardware allows" deployment story of the roadmap.
 """
@@ -14,9 +17,12 @@ from repro.runtime.pipeline import (
     PipelineResult,
     PipelineStats,
 )
+from repro.runtime.server import ModelServer, ServerStats
 
 __all__ = [
     "InferencePipeline",
     "PipelineResult",
     "PipelineStats",
+    "ModelServer",
+    "ServerStats",
 ]

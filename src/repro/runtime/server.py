@@ -1,0 +1,331 @@
+"""Long-lived model-serving daemon (``repro serve``).
+
+Every ``repro predict`` invocation used to pay the full training cost
+before answering a single query.  This module pairs the checkpoint
+subsystem (:mod:`repro.io`) with the batched
+:class:`repro.runtime.pipeline.InferencePipeline` to keep a **warm,
+resident model** behind a plain-HTTP JSON API, so throughput numbers come
+from serving, not retraining:
+
+* **stdlib only** -- the daemon is ``http.server.ThreadingHTTPServer``
+  underneath; there is nothing to install on a serving host beyond this
+  package;
+* **warm pipeline** -- the checkpointed model is loaded once, the packed
+  associative memory and encoder state are built up front
+  (:meth:`InferencePipeline.warmup`), and every request is served by the
+  selected similarity engine;
+* **threaded** -- each connection is handled on its own thread; the numpy
+  and popcount kernels release the GIL, so concurrent clients scale on
+  multi-core hosts.
+
+Endpoints (all JSON):
+
+``GET /healthz``
+    Liveness: model family, engine, uptime.
+``GET /stats``
+    Serving counters: requests, queries, errors, wall time in ``predict``,
+    end-to-end queries/second.
+``GET /manifest``
+    The loaded checkpoint's manifest (empty object when the server was
+    built around an in-process model).
+``POST /predict``
+    Body ``{"features": [[...], ...]}`` (one row per query); responds
+    ``{"labels": [...], "count": n, "elapsed_ms": t}``.
+
+Typical use::
+
+    server = ModelServer(model, engine="packed", port=0)
+    server.start()                      # background thread, ephemeral port
+    ... requests against server.url ...
+    server.shutdown()
+
+or, blocking (what ``repro serve`` does)::
+
+    ModelServer(model, port=8000).serve_forever()
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.runtime.pipeline import InferencePipeline
+
+#: Largest accepted ``/predict`` request body.  Generous for feature
+#: batches (a 1024 x 784 float batch serializes to ~20 MB of JSON) while
+#: bounding what one request can make a handler thread buffer.
+MAX_REQUEST_BYTES = 256 * 1024 * 1024
+
+
+class ServerStats:
+    """Thread-safe serving counters exposed on ``GET /stats``."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.started_unix = time.time()
+        self.requests = 0
+        self.queries = 0
+        self.errors = 0
+        self.predict_seconds = 0.0
+
+    def record_predict(self, queries: int, seconds: float) -> None:
+        """Account one successful ``/predict`` call."""
+        with self._lock:
+            self.requests += 1
+            self.queries += int(queries)
+            self.predict_seconds += float(seconds)
+
+    def record_error(self) -> None:
+        """Account one failed request (bad payload, unknown route, ...)."""
+        with self._lock:
+            self.requests += 1
+            self.errors += 1
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Snapshot of the counters (plus derived throughput)."""
+        with self._lock:
+            predict_seconds = self.predict_seconds
+            queries = self.queries
+            return {
+                "uptime_s": time.time() - self.started_unix,
+                "requests": self.requests,
+                "queries": queries,
+                "errors": self.errors,
+                "predict_s": predict_seconds,
+                "queries_per_second": (
+                    queries / predict_seconds if predict_seconds > 0 else 0.0
+                ),
+            }
+
+
+class _RequestHandler(BaseHTTPRequestHandler):
+    """Routes HTTP requests to the owning :class:`ModelServer`."""
+
+    # Keep per-request chatter out of stderr; stats carry the signal.
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass
+
+    @property
+    def _service(self) -> "ModelServer":
+        return self.server.service  # type: ignore[attr-defined]
+
+    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _fail(self, status: int, message: str) -> None:
+        self._service.stats.record_error()
+        self._send_json(status, {"error": message})
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        service = self._service
+        if self.path == "/healthz":
+            self._send_json(200, service.health())
+        elif self.path == "/stats":
+            self._send_json(200, service.stats.as_dict())
+        elif self.path == "/manifest":
+            self._send_json(200, service.manifest_dict())
+        elif self.path == "/predict":
+            self._fail(405, "use POST for /predict")
+        else:
+            self._fail(404, f"unknown path {self.path!r}")
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        if self.path != "/predict":
+            self._fail(404, f"unknown path {self.path!r}")
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            self._fail(400, "invalid Content-Length")
+            return
+        if length < 0:
+            # rfile.read(-1) would block until client EOF, hanging the
+            # handler thread on a silent keep-alive connection.
+            self._fail(400, "invalid Content-Length")
+            return
+        if length > MAX_REQUEST_BYTES:
+            self._fail(413, f"request body exceeds {MAX_REQUEST_BYTES} bytes")
+            return
+        try:
+            payload = json.loads(self.rfile.read(length).decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            self._fail(400, f"request body is not valid JSON: {error}")
+            return
+        if not isinstance(payload, dict) or "features" not in payload:
+            self._fail(400, 'request body must be {"features": [[...], ...]}')
+            return
+        try:
+            response = self._service.predict_payload(payload["features"])
+        except ValueError as error:
+            self._fail(400, str(error))
+            return
+        self._send_json(200, response)
+
+
+class ModelServer:
+    """A warm, resident model behind a threaded JSON-over-HTTP daemon.
+
+    Parameters
+    ----------
+    model:
+        A fitted classifier (typically restored via
+        :func:`repro.io.checkpoint.load_checkpoint`).
+    engine:
+        Similarity engine for every served chunk (``"float"`` or
+        ``"packed"``; packed requires a model wired for it).
+    chunk_size / workers:
+        Forwarded to :class:`InferencePipeline` (chunking bound and
+        thread-pool width per request batch).
+    manifest:
+        Optional :class:`repro.io.checkpoint.CheckpointManifest` (or dict)
+        exposed verbatim on ``GET /manifest``.
+    host / port:
+        Bind address.  ``port=0`` picks an ephemeral port (see
+        :attr:`port` after construction) -- what the tests and examples
+        use to avoid collisions.
+
+    The constructor fully warms the pipeline, so the first request pays no
+    lazy-initialization cost.
+    """
+
+    def __init__(
+        self,
+        model,
+        engine: str = "float",
+        chunk_size: int = 1024,
+        workers: int = 1,
+        manifest=None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.model = model
+        self.manifest = manifest
+        self.pipeline = InferencePipeline(
+            model, engine=engine, chunk_size=chunk_size, workers=workers
+        )
+        self.pipeline.warmup()
+        self.stats = ServerStats()
+        self._httpd = ThreadingHTTPServer((host, port), _RequestHandler)
+        self._httpd.service = self  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+        self._serving = False
+
+    # ----------------------------------------------------------- addressing
+    @property
+    def host(self) -> str:
+        """Bound host address."""
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """Bound port (the ephemeral one when constructed with ``port=0``)."""
+        return int(self._httpd.server_address[1])
+
+    @property
+    def url(self) -> str:
+        """Base URL of the daemon (e.g. ``http://127.0.0.1:8000``)."""
+        return f"http://{self.host}:{self.port}"
+
+    # ------------------------------------------------------------- lifecycle
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`shutdown` (blocking)."""
+        self._serving = True
+        try:
+            self._httpd.serve_forever()
+        finally:
+            self._serving = False
+
+    def start(self) -> "ModelServer":
+        """Serve on a daemon background thread; returns ``self``.
+
+        Idempotent; used by tests and notebooks that need the calling
+        thread back.
+        """
+        if self._thread is None or not self._thread.is_alive():
+            self._thread = threading.Thread(target=self.serve_forever, daemon=True)
+            self._thread.start()
+        return self
+
+    def shutdown(self) -> None:
+        """Stop serving and release the socket (safe to call twice).
+
+        ``BaseServer.shutdown`` blocks until ``serve_forever`` acknowledges,
+        which would deadlock when the loop never ran, so it is only issued
+        while a serving thread is (or may be about to start) running.
+        """
+        if self._serving or (self._thread is not None and self._thread.is_alive()):
+            self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "ModelServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # -------------------------------------------------------------- handlers
+    def health(self) -> Dict[str, Any]:
+        """Payload of ``GET /healthz``."""
+        return {
+            "status": "ok",
+            "model": getattr(self.model, "name", type(self.model).__name__),
+            "engine": self.pipeline.engine,
+            "uptime_s": time.time() - self.stats.started_unix,
+        }
+
+    def manifest_dict(self) -> Dict[str, Any]:
+        """Payload of ``GET /manifest``."""
+        if self.manifest is None:
+            return {}
+        if isinstance(self.manifest, dict):
+            return self.manifest
+        return json.loads(self.manifest.to_json())
+
+    def predict_payload(self, features) -> Dict[str, Any]:
+        """Serve one ``/predict`` request body (already JSON-decoded).
+
+        Raises
+        ------
+        ValueError
+            When ``features`` is not interpretable as a non-empty
+            ``(n, f)`` numeric batch (mapped to HTTP 400 by the handler).
+        """
+        try:
+            batch = np.asarray(features, dtype=np.float64)
+        except (TypeError, ValueError) as error:
+            raise ValueError(f"features are not a numeric array: {error}") from error
+        if batch.ndim == 1:
+            batch = batch[None, :]
+        if batch.ndim != 2 or batch.shape[0] == 0 or batch.shape[1] == 0:
+            raise ValueError(
+                f"features must be a non-empty (n, f) batch, got shape "
+                f"{batch.shape}"
+            )
+        start = time.perf_counter()
+        labels = self.pipeline.predict(batch)
+        elapsed = time.perf_counter() - start
+        self.stats.record_predict(batch.shape[0], elapsed)
+        return {
+            "labels": [int(label) for label in labels],
+            "count": int(batch.shape[0]),
+            "elapsed_ms": 1000.0 * elapsed,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ModelServer(model={type(self.model).__name__}, "
+            f"engine={self.pipeline.engine!r}, url={self.url!r})"
+        )

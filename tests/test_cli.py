@@ -3,7 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.cli import _int_list, build_parser, main
+from repro.cli import _int_list, _is_checkpoint_path, build_parser, main
+from repro.io.checkpoint import load_checkpoint, read_manifest
+from repro.io.registry import ArtifactRegistry
 
 
 class TestParser:
@@ -67,6 +69,39 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["predict", "--engine", "quantum"])
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve", "--load", "mnist-memhd"])
+        assert args.command == "serve"
+        assert args.load == "mnist-memhd"
+        assert args.host == "127.0.0.1"
+        assert args.port == 8000
+        assert args.engine == "packed"
+
+    def test_serve_requires_load(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
+    def test_models_subcommands(self):
+        args = build_parser().parse_args(["models", "list"])
+        assert args.models_command == "list"
+        args = build_parser().parse_args(["models", "show", "demo:v1"])
+        assert args.spec == "demo:v1"
+        args = build_parser().parse_args(["models", "prune", "--keep", "1"])
+        assert args.keep == 1
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["models"])
+
+    def test_checkpoint_spec_classification(self, tmp_path, monkeypatch):
+        assert _is_checkpoint_path("model.npz")
+        assert _is_checkpoint_path("some/dir/ckpt")
+        assert _is_checkpoint_path(str(tmp_path / "anything"))
+        assert not _is_checkpoint_path("mnist-memhd:v1")
+        # Classification is by spelling only: a same-named file in the cwd
+        # must not flip a registry name into a path spec.
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "mnist-memhd").write_text("decoy")
+        assert not _is_checkpoint_path("mnist-memhd")
+
 
 class TestCommands:
     def test_info_command(self, capsys):
@@ -119,7 +154,7 @@ class TestCommands:
         assert exit_code == 0
         assert "BasicHDC" in output
 
-    def test_train_save_artifacts(self, tmp_path, capsys):
+    def test_train_save_checkpoint_file(self, tmp_path, capsys):
         path = tmp_path / "model.npz"
         exit_code = main(
             [
@@ -141,11 +176,41 @@ class TestCommands:
             ]
         )
         assert exit_code == 0
-        assert path.exists()
-        with np.load(path) as archive:
-            assert archive["binary_am"].shape == (16, 64)
-            assert archive["projection"].shape == (784, 64)
-            assert archive["column_classes"].shape == (16,)
+        assert "saved checkpoint to" in capsys.readouterr().out
+        manifest = read_manifest(path)
+        assert manifest.model_class == "MEMHDModel"
+        assert manifest.dataset["name"] == "mnist"
+        assert 0.0 <= manifest.metrics["test_accuracy"] <= 1.0
+        model = load_checkpoint(path)
+        assert model.config.dimension == 64
+        assert model.associative_memory.binary_memory.shape == (16, 64)
+
+    def test_train_save_into_registry(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        exit_code = main(
+            [
+                "train",
+                "--dataset",
+                "mnist",
+                "--scale",
+                "0.01",
+                "--model",
+                "basichdc",
+                "--dimension",
+                "64",
+                "--epochs",
+                "1",
+                "--save",
+                "mnist-basic",
+                "--store",
+                str(store),
+            ]
+        )
+        assert exit_code == 0
+        assert "mnist-basic:v1" in capsys.readouterr().out
+        registry = ArtifactRegistry(store)
+        assert registry.tags("mnist-basic") == ["v1"]
+        assert registry.inspect("mnist-basic").model_class == "BasicHDC"
 
     def test_predict_command_both_engines(self, capsys):
         exit_code = main(
@@ -223,6 +288,31 @@ class TestCommands:
         assert exit_code == 2
         assert "packed engine" in capsys.readouterr().err
 
+    def test_predict_without_load_prints_retrain_notice(self, capsys):
+        exit_code = main(
+            [
+                "predict",
+                "--dataset",
+                "mnist",
+                "--scale",
+                "0.01",
+                "--dimension",
+                "64",
+                "--columns",
+                "32",
+                "--epochs",
+                "1",
+                "--engine",
+                "float",
+                "--repeats",
+                "1",
+            ]
+        )
+        assert exit_code == 0
+        captured = capsys.readouterr()
+        assert "retrained from scratch" in captured.err
+        assert "--load" in captured.err
+
     def test_map_command_prints_table2(self, capsys):
         exit_code = main(["map", "--dataset", "mnist", "--rows", "128", "--cols", "128"])
         output = capsys.readouterr().out
@@ -249,3 +339,189 @@ class TestCommands:
         output = capsys.readouterr().out
         assert exit_code == 0
         assert "D \\ C" in output
+
+
+class TestPersistenceWorkflow:
+    """train --save -> predict --load -> models, end to end through main()."""
+
+    TRAIN_ARGS = [
+        "train",
+        "--dataset",
+        "mnist",
+        "--scale",
+        "0.01",
+        "--model",
+        "memhd",
+        "--dimension",
+        "64",
+        "--columns",
+        "16",
+        "--epochs",
+        "1",
+    ]
+
+    @pytest.fixture()
+    def store(self, tmp_path):
+        return str(tmp_path / "store")
+
+    @pytest.fixture()
+    def saved(self, store, capsys):
+        assert main(self.TRAIN_ARGS + ["--save", "ckpt", "--store", store]) == 0
+        capsys.readouterr()
+        return store
+
+    def test_predict_load_skips_retraining(self, saved, capsys, monkeypatch):
+        def poisoned_fit(self, *args, **kwargs):
+            raise AssertionError("predict --load must not retrain")
+
+        import repro.core.model
+
+        monkeypatch.setattr(repro.core.model.MEMHDModel, "fit", poisoned_fit)
+        exit_code = main(
+            [
+                "predict",
+                "--dataset",
+                "mnist",
+                "--scale",
+                "0.01",
+                "--load",
+                "ckpt",
+                "--store",
+                saved,
+                "--engine",
+                "both",
+                "--batch-size",
+                "64",
+                "--repeats",
+                "1",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "retrained from scratch" not in captured.err
+        assert "queries_per_s" in captured.out
+
+    def test_predict_load_is_bit_identical_to_in_process_model(self, saved):
+        from repro.data.datasets import load_dataset
+
+        registry = ArtifactRegistry(saved)
+        model = registry.load("ckpt")
+        dataset = load_dataset("mnist", scale=0.01, rng=0)
+        for engine in ("float", "packed"):
+            direct = model.predict(dataset.test_features, engine=engine)
+            reloaded = load_checkpoint(registry.resolve("ckpt")).predict(
+                dataset.test_features, engine=engine
+            )
+            assert np.array_equal(direct, reloaded)
+
+    def test_predict_load_missing_checkpoint_fails(self, store, capsys):
+        exit_code = main(
+            [
+                "predict",
+                "--dataset",
+                "mnist",
+                "--scale",
+                "0.01",
+                "--load",
+                "ghost",
+                "--store",
+                store,
+                "--repeats",
+                "1",
+            ]
+        )
+        assert exit_code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_predict_load_warns_on_dataset_mismatch(self, saved, capsys):
+        exit_code = main(
+            [
+                "predict",
+                "--dataset",
+                "mnist",
+                "--scale",
+                "0.02",
+                "--load",
+                "ckpt",
+                "--store",
+                saved,
+                "--engine",
+                "float",
+                "--repeats",
+                "1",
+            ]
+        )
+        assert exit_code == 0
+        assert "different" in capsys.readouterr().err
+
+    def test_models_list_and_show(self, saved, capsys):
+        assert main(["models", "list", "--store", saved]) == 0
+        output = capsys.readouterr().out
+        assert "ckpt:v1" in output
+        assert "MEMHD" in output
+        assert main(["models", "show", "ckpt", "--store", saved]) == 0
+        output = capsys.readouterr().out
+        assert '"model_class": "MEMHDModel"' in output
+
+    def test_models_list_empty_store(self, store, capsys):
+        assert main(["models", "list", "--store", store]) == 0
+        assert "no checkpoints" in capsys.readouterr().out
+
+    def test_models_show_unknown_fails(self, store, capsys):
+        assert main(["models", "show", "ghost", "--store", store]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_models_prune(self, saved, capsys):
+        for _ in range(3):
+            assert main(self.TRAIN_ARGS + ["--save", "ckpt", "--store", saved]) == 0
+        capsys.readouterr()
+        assert main(["models", "prune", "--keep", "1", "--store", saved]) == 0
+        output = capsys.readouterr().out
+        assert "pruned 3 checkpoint(s); 1 kept" in output
+        registry = ArtifactRegistry(saved)
+        assert len(registry.tags("ckpt")) == 1
+
+    def test_serve_command_rejects_missing_checkpoint(self, store, capsys):
+        exit_code = main(["serve", "--load", "ghost", "--store", store])
+        assert exit_code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_save_and_load_path_without_npz_suffix(self, tmp_path, capsys):
+        spec = str(tmp_path / "nested" / "model")
+        exit_code = main(self.TRAIN_ARGS + ["--save", spec])
+        assert exit_code == 0
+        # numpy appends .npz; the CLI must print (and reload by) the real path.
+        assert f"saved checkpoint to {spec}.npz" in capsys.readouterr().out
+        exit_code = main(
+            [
+                "predict",
+                "--dataset",
+                "mnist",
+                "--scale",
+                "0.01",
+                "--load",
+                spec,
+                "--engine",
+                "float",
+                "--repeats",
+                "1",
+            ]
+        )
+        assert exit_code == 0
+        assert "retrained from scratch" not in capsys.readouterr().err
+
+    def test_serve_command_reports_bind_failure(self, saved, capsys):
+        import socket
+
+        blocker = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        blocker.bind(("127.0.0.1", 0))
+        blocker.listen(1)
+        port = blocker.getsockname()[1]
+        try:
+            exit_code = main(
+                ["serve", "--load", "ckpt", "--store", saved, "--port", str(port)]
+            )
+        finally:
+            blocker.close()
+        assert exit_code == 2
+        assert "error:" in capsys.readouterr().err

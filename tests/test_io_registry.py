@@ -1,0 +1,198 @@
+"""Artifact registry tests (repro.io.registry)."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.io.registry import (
+    LATEST_TAG,
+    ArtifactRegistry,
+    RegistryError,
+    default_store,
+    split_spec,
+)
+
+
+@pytest.fixture()
+def registry(tmp_path):
+    return ArtifactRegistry(tmp_path / "store")
+
+
+@pytest.fixture()
+def model(trained_memhd):
+    return trained_memhd[0]
+
+
+def _age(registry, name, tag, seconds):
+    """Push an entry's mtime into the past (deterministic 'latest' order)."""
+    path = registry.path_for(name, tag)
+    stat = path.stat()
+    os.utime(path, (stat.st_atime - seconds, stat.st_mtime - seconds))
+
+
+class TestSpecs:
+    def test_split_spec(self):
+        assert split_spec("mnist-memhd") == ("mnist-memhd", LATEST_TAG)
+        assert split_spec("mnist-memhd:v3") == ("mnist-memhd", "v3")
+        assert split_spec("a.b_c-1:latest") == ("a.b_c-1", LATEST_TAG)
+
+    @pytest.mark.parametrize("spec", ["", ":v1", "bad/name", "na me", "-lead", "a:b:c"])
+    def test_invalid_specs_rejected(self, spec):
+        with pytest.raises(RegistryError):
+            split_spec(spec)
+
+    def test_default_store_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path / "elsewhere"))
+        assert default_store() == str(tmp_path / "elsewhere")
+        monkeypatch.delenv("REPRO_STORE")
+        assert default_store().endswith(os.path.join(".cache", "repro"))
+
+
+class TestSaveResolve:
+    def test_auto_tags_increment(self, registry, model):
+        first = registry.save(model, "demo")
+        second = registry.save(model, "demo")
+        assert (first.tag, second.tag) == ("v1", "v2")
+        assert registry.save(model, "demo", tag="release").tag == "release"
+
+    def test_resolve_exact_and_latest(self, registry, model):
+        registry.save(model, "demo")
+        registry.save(model, "demo")
+        _age(registry, "demo", "v1", 60)
+        assert registry.resolve("demo:v1").name == "v1.npz"
+        assert registry.resolve("demo").name == "v2.npz"
+        assert registry.resolve("demo:latest").name == "v2.npz"
+
+    def test_latest_follows_mtime_not_tag_name(self, registry, model):
+        registry.save(model, "demo", tag="newer")
+        registry.save(model, "demo", tag="alpha")
+        _age(registry, "demo", "newer", 60)
+        assert registry.resolve("demo").name == "alpha.npz"
+
+    def test_reserved_latest_tag_rejected_on_save(self, registry, model):
+        with pytest.raises(RegistryError, match="reserved"):
+            registry.save(model, "demo", tag="latest")
+
+    def test_resolve_unknown(self, registry, model):
+        with pytest.raises(RegistryError, match="no artifact"):
+            registry.resolve("ghost")
+        registry.save(model, "demo")
+        with pytest.raises(RegistryError, match="not found"):
+            registry.resolve("demo:v9")
+
+    def test_load_round_trip(self, registry, model, tiny_dataset):
+        registry.save(model, "demo", dataset=tiny_dataset)
+        restored = registry.load("demo")
+        assert np.array_equal(
+            model.predict(tiny_dataset.test_features),
+            restored.predict(tiny_dataset.test_features),
+        )
+
+    def test_inspect_manifest(self, registry, model, tiny_dataset):
+        registry.save(model, "demo", dataset=tiny_dataset, metrics={"acc": 1.0})
+        manifest = registry.inspect("demo")
+        assert manifest.model_class == "MEMHDModel"
+        assert manifest.metrics == {"acc": 1.0}
+        assert manifest.dataset["name"] == tiny_dataset.name
+
+
+class TestListings:
+    def test_empty_store(self, registry):
+        assert registry.names() == []
+        assert registry.list_entries() == []
+        assert registry.tags("absent") == []
+
+    def test_list_entries(self, registry, model):
+        registry.save(model, "alpha")
+        registry.save(model, "beta")
+        registry.save(model, "beta")
+        _age(registry, "beta", "v1", 60)
+        entries = registry.list_entries()
+        assert [entry.spec for entry in entries] == ["alpha:v1", "beta:v2", "beta:v1"]
+        assert registry.names() == ["alpha", "beta"]
+        only_beta = registry.list_entries("beta")
+        assert {entry.name for entry in only_beta} == {"beta"}
+        summary = only_beta[0].summary()
+        assert summary["artifact"].startswith("beta:")
+        assert summary["class"] == "MEMHDModel"
+        assert summary["size_KiB"] > 0
+
+    def test_listing_skips_corrupt_files(self, registry, model):
+        registry.save(model, "demo")
+        bad = registry.root / "demo" / "broken.npz"
+        bad.write_bytes(b"junk")
+        specs = [entry.spec for entry in registry.list_entries()]
+        assert specs == ["demo:v1"]
+
+    def test_listing_skips_manifest_with_missing_fields(self, registry, model):
+        """A tampered manifest must not crash `repro models list`."""
+        import json
+
+        import numpy as np
+
+        from repro.io.checkpoint import MANIFEST_KEY, MAGIC
+
+        registry.save(model, "demo")
+        truncated = {"magic": MAGIC, "schema_version": 1}
+        bad = registry.root / "demo" / "tampered.npz"
+        np.savez_compressed(
+            bad,
+            **{
+                MANIFEST_KEY: np.frombuffer(
+                    json.dumps(truncated).encode("utf-8"), dtype=np.uint8
+                )
+            },
+        )
+        specs = [entry.spec for entry in registry.list_entries()]
+        assert specs == ["demo:v1"]
+
+
+class TestRemovePrune:
+    def test_remove(self, registry, model):
+        registry.save(model, "demo")
+        registry.remove("demo:v1")
+        assert registry.names() == []
+        with pytest.raises(RegistryError, match="not found"):
+            registry.remove("demo:v1")
+
+    def test_remove_refuses_latest(self, registry, model):
+        registry.save(model, "demo")
+        with pytest.raises(RegistryError, match="exact tag"):
+            registry.remove("demo")
+
+    def test_prune_keeps_newest(self, registry, model):
+        for _ in range(5):
+            registry.save(model, "demo")
+        for index, tag in enumerate(("v1", "v2", "v3", "v4")):
+            _age(registry, "demo", tag, 600 - 100 * index)
+        removed = registry.prune(name="demo", keep=2)
+        assert len(removed) == 3
+        assert registry.tags("demo") == ["v5", "v4"]
+
+    def test_prune_zero_removes_everything(self, registry, model):
+        registry.save(model, "alpha")
+        registry.save(model, "beta")
+        removed = registry.prune(keep=0)
+        assert len(removed) == 2
+        assert registry.names() == []
+        assert not any(registry.root.iterdir()) or registry.root.is_dir()
+
+    def test_prune_is_name_scoped(self, registry, model):
+        registry.save(model, "alpha")
+        registry.save(model, "beta")
+        registry.prune(name="alpha", keep=0)
+        assert registry.names() == ["beta"]
+
+    def test_prune_negative_keep_rejected(self, registry):
+        with pytest.raises(RegistryError, match="non-negative"):
+            registry.prune(keep=-1)
+
+    def test_prune_unknown_name_rejected(self, registry, model):
+        """A typo'd --name must error, not silently prune nothing."""
+        registry.save(model, "demo")
+        with pytest.raises(RegistryError, match="no artifact"):
+            registry.prune(name="dmeo", keep=0)
+        assert registry.tags("demo") == ["v1"]

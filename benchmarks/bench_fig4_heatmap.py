@@ -1,8 +1,11 @@
 """Fig. 4 -- MEMHD accuracy heatmap over dimensions and columns (experiment E3).
 
 The paper sweeps D and C from 64 to 1024 on all three datasets; this
-benchmark sweeps a reduced 64--256 grid (configurable) at benchmark scale
-and prints the heatmap.  The qualitative findings checked here:
+benchmark declares the reduced 64--256 grid (configurable) as a
+:class:`repro.eval.sweep.SweepSpec` and runs it through the experiment-matrix
+engine -- the same resumable, config-hash-keyed path ``repro sweep run``
+uses -- then pivots the result store into the heatmap.  The qualitative
+findings checked here:
 
 * accuracy improves with dimension (better encoding quality), and
 * for the large-sample image profiles more columns help, while ISOLET's
@@ -14,13 +17,12 @@ from __future__ import annotations
 
 import os
 
-import numpy as np
 import pytest
-from conftest import BENCH_EPOCHS, print_section
+from conftest import BENCH_EPOCHS, BENCH_SCALE_IMAGE, BENCH_SCALE_ISOLET, print_section
 
-from repro.core.config import MEMHDConfig
-from repro.eval.experiments import grid_sweep
-from repro.eval.reporting import format_heatmap
+from repro.eval.reporting import format_heatmap, sweep_grid
+from repro.eval.store import ResultStore
+from repro.eval.sweep import SweepSpec, run_sweep, spec_records
 
 
 def _grid_points():
@@ -31,20 +33,27 @@ def _grid_points():
 
 
 @pytest.mark.parametrize("dataset_name", ["mnist", "fmnist", "isolet"])
-def test_fig4_accuracy_heatmap(benchmark, dataset_name, request):
+def test_fig4_accuracy_heatmap(benchmark, dataset_name, request, tmp_path):
     dataset = request.getfixturevalue(dataset_name)
     dimensions, columns = _grid_points()
-    base = MEMHDConfig(
-        dimension=dimensions[0],
-        columns=max(columns[0], dataset.num_classes),
+    spec = SweepSpec(
+        models=("memhd",),
+        datasets=(dataset_name,),
+        dimensions=dimensions,
+        columns=columns,
+        engines=("float",),
+        scale=BENCH_SCALE_ISOLET if dataset_name == "isolet" else BENCH_SCALE_IMAGE,
         epochs=BENCH_EPOCHS,
-        seed=0,
+        seed=11,
     )
+    store = ResultStore(tmp_path / "fig4.jsonl")
 
     def run():
-        return grid_sweep(dataset, dimensions, columns, base_config=base, rng=11)
+        return run_sweep(spec, store, workers=1)
 
-    grid = benchmark.pedantic(run, rounds=1, iterations=1)
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.ok, result.failed
+    grid = sweep_grid(spec_records(spec, store))
     print_section(
         f"Fig. 4 ({dataset_name.upper()}): MEMHD accuracy (%) over D (rows) x C (columns)",
         format_heatmap(grid),

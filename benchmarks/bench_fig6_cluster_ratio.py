@@ -3,19 +3,21 @@
 The paper sweeps R from 0.1 to 1.0 on FMNIST (512x512 and 512x64) and
 ISOLET and finds that R has little effect when the AM is large relative to
 the class count but matters when columns are scarce, with the best values in
-the 0.8--1.0 range.  This benchmark sweeps R at benchmark scale on a large
-and a small column budget and prints both curves.
+the 0.8--1.0 range.  This benchmark declares the R axis as a
+:class:`repro.eval.sweep.SweepSpec` and runs it through the
+experiment-matrix engine (the ``repro sweep run`` path) on a large and a
+small column budget, printing both curves.
 """
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
-from conftest import BENCH_EPOCHS, print_section
+from conftest import BENCH_EPOCHS, BENCH_SCALE_IMAGE, BENCH_SCALE_ISOLET, print_section
 
-from repro.core.config import MEMHDConfig
-from repro.eval.experiments import cluster_ratio_sweep
 from repro.eval.reporting import format_table
+from repro.eval.store import ResultStore
+from repro.eval.sweep import SweepSpec, run_sweep, spec_records
 
 RATIOS = (0.2, 0.4, 0.6, 0.8, 1.0)
 
@@ -29,19 +31,33 @@ SETUPS = [
 
 
 @pytest.mark.parametrize("dataset_name,dimension,columns", SETUPS)
-def test_fig6_cluster_ratio_sweep(benchmark, dataset_name, dimension, columns, request):
+def test_fig6_cluster_ratio_sweep(
+    benchmark, dataset_name, dimension, columns, request, tmp_path, smoke
+):
     dataset = request.getfixturevalue(dataset_name)
-    config = MEMHDConfig(
-        dimension=dimension,
-        columns=columns,
+    spec = SweepSpec(
+        models=("memhd",),
+        datasets=(dataset_name,),
+        dimensions=(dimension,),
+        columns=(columns,),
+        cluster_ratios=RATIOS,
+        engines=("float",),
+        scale=BENCH_SCALE_ISOLET if dataset_name == "isolet" else BENCH_SCALE_IMAGE,
         epochs=BENCH_EPOCHS,
-        seed=0,
+        seed=13,
     )
+    store = ResultStore(tmp_path / "fig6.jsonl")
 
     def run():
-        return cluster_ratio_sweep(dataset, config, RATIOS, rng=13)
+        return run_sweep(spec, store, workers=1)
 
-    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert outcome.ok, outcome.failed
+    results = {
+        record.config["cluster_ratio"]: record.metrics["test_accuracy"]
+        for record in spec_records(spec, store)
+    }
+    assert set(results) == set(RATIOS)
     rows = [
         {"R": ratio, "accuracy_%": 100.0 * accuracy}
         for ratio, accuracy in sorted(results.items())
@@ -58,5 +74,7 @@ def test_fig6_cluster_ratio_sweep(benchmark, dataset_name, dimension, columns, r
     # (the paper's curves move by a few points, not tens of points).  Which
     # end of the range wins depends on the dataset and the column budget, so
     # only the bounded-spread property is asserted; the printed curve records
-    # the measured optimum for EXPERIMENTS.md.
-    assert values.max() - values.min() < 0.25
+    # the measured optimum for EXPERIMENTS.md.  Smoke runs train for so few
+    # epochs that per-cell seed variance dominates the R effect, so the
+    # bound relaxes there (the usual --smoke measurement-gate convention).
+    assert values.max() - values.min() < (0.4 if smoke else 0.25)

@@ -37,8 +37,10 @@ Quickstart::
 from repro.core.config import MEMHDConfig
 from repro.core.model import MEMHDModel
 from repro.core.associative_memory import MultiCentroidAM
-from repro.baselines import BasicHDC, QuantHD, SearcHD, LeHDC
+from repro.baselines import BasicHDC, OnlineHD, QuantHD, SearcHD, LeHDC
 from repro.data import load_dataset, Dataset
+from repro.eval.store import ResultStore
+from repro.eval.sweep import SweepSpec, run_sweep
 from repro.hdc import PackedAM, pack_binary, pack_bipolar
 from repro.imc import IMCArrayConfig, InMemoryInference
 from repro.runtime import InferencePipeline, ModelServer, PipelineStats
@@ -58,11 +60,15 @@ __all__ = [
     "MEMHDModel",
     "MultiCentroidAM",
     "BasicHDC",
+    "OnlineHD",
     "QuantHD",
     "SearcHD",
     "LeHDC",
     "load_dataset",
     "Dataset",
+    "ResultStore",
+    "SweepSpec",
+    "run_sweep",
     "PackedAM",
     "pack_binary",
     "pack_bipolar",

@@ -29,6 +29,7 @@ from repro.baselines.base import HDCClassifier, TrainingHistory
 from repro.hdc.encoders import IDLevelEncoder, check_encoder_shape
 from repro.hdc.hypervector import _as_generator, bipolarize
 from repro.hdc.memory_model import MemoryReport, model_memory_report
+from repro.hdc.packed import PackedVectors, pack_bipolar, packed_dot_similarity
 from repro.eval.metrics import accuracy
 
 
@@ -125,6 +126,7 @@ class LeHDC(HDCClassifier):
             )
         self._latent: Optional[np.ndarray] = None
         self._binary_am: Optional[np.ndarray] = None
+        self._packed_am: Optional[PackedVectors] = None
 
     # ------------------------------------------------------------------ API
     def fit(
@@ -143,6 +145,7 @@ class LeHDC(HDCClassifier):
         scale = 1.0 / np.sqrt(dim)
         self._latent = self._rng.normal(0.0, 0.1, size=(self.num_classes, dim))
         self._binary_am = bipolarize(self._latent).astype(np.float64)
+        self._packed_am = None
         history.initial_accuracy = accuracy(self._predict_encoded(encoded), y)
 
         velocity = np.zeros_like(self._latent)
@@ -172,6 +175,7 @@ class LeHDC(HDCClassifier):
                 )
                 updates += batch.size
             self._binary_am = bipolarize(self._latent).astype(np.float64)
+            self._packed_am = None
             history.updates.append(updates)
             history.train_accuracy.append(
                 accuracy(self._predict_encoded(encoded), y)
@@ -184,13 +188,14 @@ class LeHDC(HDCClassifier):
             history.train_accuracy.append(history.initial_accuracy)
         return history
 
-    def predict(self, features: np.ndarray) -> np.ndarray:
+    def predict(self, features: np.ndarray, engine: str = "float") -> np.ndarray:
+        """Classify raw features (``engine="packed"`` uses popcount search)."""
         if self._binary_am is None:
             raise RuntimeError("LeHDC.predict called before fit")
         encoded = self.encoder.encode(np.asarray(features, dtype=np.float64))
         if encoded.ndim == 1:
             encoded = encoded[None, :]
-        return self._predict_encoded(encoded.astype(np.float64))
+        return self._predict_encoded(encoded.astype(np.float64), engine=engine)
 
     def memory_report(self) -> MemoryReport:
         return model_memory_report(
@@ -233,6 +238,7 @@ class LeHDC(HDCClassifier):
         model = cls(num_features, num_classes, config, rng=config.seed, encoder=encoder)
         model._latent = np.asarray(arrays["latent"], dtype=np.float64)
         model._binary_am = np.asarray(arrays["binary_am"], dtype=np.float64)
+        model._packed_am = None
         return model
 
     # ------------------------------------------------------------ internals
@@ -243,6 +249,26 @@ class LeHDC(HDCClassifier):
             raise RuntimeError("model has not been fitted")
         return self._binary_am
 
-    def _predict_encoded(self, encoded: np.ndarray) -> np.ndarray:
-        logits = encoded @ self._binary_am.T
+    def prepare_engine(self, engine: str = "float") -> None:
+        """Pipeline warm-up hook: pre-pack the AM for the packed engine."""
+        if engine == "packed":
+            self._packed()
+
+    def _packed(self) -> PackedVectors:
+        """Bit-packed (bipolar) AM, rebuilt whenever the binary AM moves."""
+        if self._binary_am is None:
+            raise RuntimeError("model has not been fitted")
+        if self._packed_am is None:
+            self._packed_am = pack_bipolar(self._binary_am)
+        return self._packed_am
+
+    def _predict_encoded(
+        self, encoded: np.ndarray, engine: str = "float"
+    ) -> np.ndarray:
+        if engine == "packed":
+            logits = packed_dot_similarity(pack_bipolar(encoded), self._packed())
+        elif engine == "float":
+            logits = encoded @ self._binary_am.T
+        else:
+            raise ValueError(f"engine must be 'float' or 'packed', got {engine!r}")
         return np.argmax(np.atleast_2d(logits), axis=1)

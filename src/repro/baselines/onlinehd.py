@@ -154,7 +154,16 @@ class OnlineHD(HDCClassifier):
             history.train_accuracy.append(history.initial_accuracy)
         return history
 
-    def predict(self, features: np.ndarray) -> np.ndarray:
+    def predict(self, features: np.ndarray, engine: str = "float") -> np.ndarray:
+        """Classify raw features.
+
+        OnlineHD keeps a floating-point associative memory, so only the
+        ``"float"`` engine exists; requesting ``"packed"`` raises
+        :class:`ValueError` (the 1-bit popcount engine cannot represent FP
+        class vectors).  The parameter is accepted so every classifier in
+        the repository shares one engine-selecting signature.
+        """
+        self._check_engine(engine)
         if self._am is None:
             raise RuntimeError("OnlineHD.predict called before fit")
         encoded = np.asarray(
@@ -164,6 +173,21 @@ class OnlineHD(HDCClassifier):
         if encoded.ndim == 1:
             encoded = encoded[None, :]
         return self._predict_encoded(encoded)
+
+    def prepare_engine(self, engine: str = "float") -> None:
+        """Pipeline warm-up hook: fails fast on the unsupported engine."""
+        self._check_engine(engine)
+
+    @staticmethod
+    def _check_engine(engine: str) -> None:
+        if engine == "packed":
+            raise ValueError(
+                "OnlineHD keeps a floating-point associative memory; the "
+                "packed engine (1-bit popcount search) is unavailable for "
+                "this model"
+            )
+        if engine != "float":
+            raise ValueError(f"engine must be 'float' or 'packed', got {engine!r}")
 
     def memory_report(self) -> MemoryReport:
         """Projection encoder (1-bit cells) plus a 32-bit FP class-vector AM."""

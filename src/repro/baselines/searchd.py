@@ -25,6 +25,7 @@ from repro.baselines.base import HDCClassifier, TrainingHistory
 from repro.hdc.encoders import IDLevelEncoder, check_encoder_shape
 from repro.hdc.hypervector import _as_generator, random_bipolar_hypervectors
 from repro.hdc.memory_model import MemoryReport, model_memory_report
+from repro.hdc.packed import PackedVectors, pack_bipolar, packed_dot_similarity
 from repro.hdc.similarity import dot_similarity
 from repro.eval.metrics import accuracy
 
@@ -109,6 +110,7 @@ class SearcHD(HDCClassifier):
             )
         # (k, N, D) bipolar class-vector tensor.
         self._am: Optional[np.ndarray] = None
+        self._packed_am: Optional[PackedVectors] = None
 
     # ------------------------------------------------------------------ API
     def fit(
@@ -128,6 +130,7 @@ class SearcHD(HDCClassifier):
         self._am = random_bipolar_hypervectors(k * n_models, dim, self._rng).reshape(
             k, n_models, dim
         )
+        self._packed_am = None
         for class_label in range(k):
             members = np.flatnonzero(y == class_label)
             if members.size == 0:
@@ -149,13 +152,14 @@ class SearcHD(HDCClassifier):
                 history.validation_accuracy.append(self.score(val_x, val_y))
         return history
 
-    def predict(self, features: np.ndarray) -> np.ndarray:
+    def predict(self, features: np.ndarray, engine: str = "float") -> np.ndarray:
+        """Classify raw features (``engine="packed"`` uses popcount search)."""
         if self._am is None:
             raise RuntimeError("SearcHD.predict called before fit")
         encoded = self.encoder.encode(np.asarray(features, dtype=np.float64))
         if encoded.ndim == 1:
             encoded = encoded[None, :]
-        return self._predict_encoded(encoded.astype(np.int8))
+        return self._predict_encoded(encoded.astype(np.int8), engine=engine)
 
     def memory_report(self) -> MemoryReport:
         return model_memory_report(
@@ -210,11 +214,32 @@ class SearcHD(HDCClassifier):
             raise RuntimeError("model has not been fitted")
         return self._am
 
-    def _predict_encoded(self, encoded: np.ndarray) -> np.ndarray:
+    def prepare_engine(self, engine: str = "float") -> None:
+        """Pipeline warm-up hook: pre-pack the AM for the packed engine."""
+        if engine == "packed":
+            self._packed()
+
+    def _packed(self) -> PackedVectors:
+        """Bit-packed flat ``(k * N, D)`` AM, rebuilt whenever the AM moves."""
+        if self._am is None:
+            raise RuntimeError("model has not been fitted")
+        if self._packed_am is None:
+            k, n_models, dim = self._am.shape
+            self._packed_am = pack_bipolar(self._am.reshape(k * n_models, dim))
+        return self._packed_am
+
+    def _predict_encoded(
+        self, encoded: np.ndarray, engine: str = "float"
+    ) -> np.ndarray:
         """Classify by the most similar of all ``k * N`` class vectors."""
         k, n_models, dim = self._am.shape
-        flat = self._am.reshape(k * n_models, dim).astype(np.float64)
-        scores = dot_similarity(encoded.astype(np.float64), flat)
+        if engine == "packed":
+            scores = packed_dot_similarity(pack_bipolar(encoded), self._packed())
+        elif engine == "float":
+            flat = self._am.reshape(k * n_models, dim).astype(np.float64)
+            scores = dot_similarity(encoded.astype(np.float64), flat)
+        else:
+            raise ValueError(f"engine must be 'float' or 'packed', got {engine!r}")
         best = np.argmax(np.atleast_2d(scores), axis=1)
         return best // n_models
 
@@ -237,4 +262,6 @@ class SearcHD(HDCClassifier):
             if np.any(flips):
                 self._am[true_class, target, flips] = encoded[index, flips]
                 updates += 1
+        if updates:
+            self._packed_am = None  # the packed mirror is stale now
         return updates

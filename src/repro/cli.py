@@ -32,8 +32,17 @@ subcommands cover the everyday workflows:
     Print the Table II mapping analysis (basic / partitioned / MEMHD) for an
     array geometry.
 
-``repro sweep --dataset mnist --dimensions 64,128 --columns 64,128``
-    Run the Fig. 4 style accuracy grid and print the heatmap.
+``repro sweep run --models memhd,basichdc --dimensions 64,128 --results r.jsonl``
+    Expand a declarative experiment grid (models x datasets x dimensions x
+    centroid budgets x engines x IMC noise/ADC settings), run it on a
+    process pool with deterministic per-cell seeds, and stream results
+    into an append-only JSONL store keyed by config hash -- re-running
+    the same spec resumes, completing only the missing cells.
+
+``repro sweep status | report | diff``
+    Inspect a result store (``status``), render its tables and heatmaps
+    (``report``), or compare two stores metric-by-metric for regression
+    checks (``diff``; non-zero exit on drift).
 
 Every dataset-touching command accepts ``--scale`` to control how much of
 the paper-scale per-class sample budget the (synthetic or real) dataset
@@ -48,24 +57,26 @@ import os
 import sys
 from typing import List, Optional, Sequence
 
-from repro.baselines import (
-    BasicHDC,
-    BasicHDCConfig,
-    LeHDC,
-    LeHDCConfig,
-    OnlineHD,
-    OnlineHDConfig,
-    QuantHD,
-    QuantHDConfig,
-    SearcHD,
-    SearcHDConfig,
-)
-from repro.core.config import MEMHDConfig
-from repro.core.model import MEMHDModel
 from repro.data.datasets import available_datasets, load_dataset
-from repro.eval.experiments import grid_sweep
 from repro.eval.metrics import accuracy
-from repro.eval.reporting import format_heatmap, format_table
+from repro.eval.reporting import (
+    format_heatmap,
+    format_store_diff,
+    format_sweep_records,
+    format_table,
+    sweep_grid,
+)
+from repro.eval.store import ResultStore, StoreError
+from repro.eval.sweep import (
+    MODEL_CHOICES,
+    SweepError,
+    SweepSpec,
+    best_record,
+    build_model,
+    run_sweep,
+    spec_records,
+    train_record_model,
+)
 from repro.hdc.packed import kernel_backend
 from repro.imc.analysis import full_mapping_report, improvement_factors, table2_rows
 from repro.imc.array import IMCArrayConfig
@@ -81,9 +92,6 @@ from repro.io.registry import ArtifactRegistry, RegistryError
 from repro.runtime.pipeline import throughput_comparison
 from repro.runtime.server import ModelServer
 
-#: Model families constructible from the command line.
-MODEL_CHOICES = ("memhd", "basichdc", "quanthd", "searchd", "lehdc", "onlinehd")
-
 
 def _int_list(text: str) -> List[int]:
     """Parse a comma-separated list of integers (argparse type)."""
@@ -93,6 +101,48 @@ def _int_list(text: str) -> List[int]:
         raise argparse.ArgumentTypeError(f"not a comma-separated int list: {text!r}") from error
     if not values:
         raise argparse.ArgumentTypeError("expected at least one integer")
+    return values
+
+
+def _float_list(text: str) -> List[float]:
+    """Parse a comma-separated list of floats (argparse type)."""
+    try:
+        values = [float(part) for part in text.split(",") if part.strip()]
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(
+            f"not a comma-separated float list: {text!r}"
+        ) from error
+    if not values:
+        raise argparse.ArgumentTypeError("expected at least one float")
+    return values
+
+
+def _str_list(text: str) -> List[str]:
+    """Parse a comma-separated list of names (argparse type)."""
+    values = [part.strip() for part in text.split(",") if part.strip()]
+    if not values:
+        raise argparse.ArgumentTypeError("expected at least one name")
+    return values
+
+
+def _adc_list(text: str) -> List[Optional[int]]:
+    """Parse ADC bit settings: ints plus ``ideal``/``none`` for no ADC."""
+    values: List[Optional[int]] = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if part.lower() in ("ideal", "none"):
+            values.append(None)
+            continue
+        try:
+            values.append(int(part))
+        except ValueError as error:
+            raise argparse.ArgumentTypeError(
+                f"ADC bits must be integers or 'ideal', got {part!r}"
+            ) from error
+    if not values:
+        raise argparse.ArgumentTypeError("expected at least one ADC setting")
     return values
 
 
@@ -263,11 +313,120 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated partition counts for the partitioned baseline",
     )
 
-    sweep = subparsers.add_parser("sweep", help="Fig. 4 style accuracy grid over D x C")
-    add_dataset_options(sweep)
-    sweep.add_argument("--dimensions", type=_int_list, default=[64, 128])
-    sweep.add_argument("--columns", type=_int_list, default=[64, 128])
-    sweep.add_argument("--epochs", type=int, default=10)
+    sweep = subparsers.add_parser(
+        "sweep",
+        help="declarative, parallel, resumable experiment-matrix runner",
+    )
+    sweep_sub = sweep.add_subparsers(dest="sweep_command", required=True)
+
+    def add_results_option(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--results", default="sweep-results.jsonl", metavar="FILE",
+            help="append-only JSONL result store (default sweep-results.jsonl)",
+        )
+
+    def add_spec_options(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--spec", default=None, metavar="FILE",
+            help="JSON sweep spec file; overrides the axis flags below",
+        )
+        sub.add_argument(
+            "--models", type=_str_list, default=["memhd"],
+            help=f"comma-separated model families ({', '.join(MODEL_CHOICES)})",
+        )
+        sub.add_argument(
+            "--datasets", type=_str_list, default=["mnist"],
+            help="comma-separated dataset names",
+        )
+        sub.add_argument("--dimensions", type=_int_list, default=[64, 128])
+        sub.add_argument(
+            "--columns", type=_int_list, default=[128],
+            help="MEMHD centroid budgets C (ignored by the baselines)",
+        )
+        sub.add_argument(
+            "--engines", type=_str_list, default=["float"],
+            help="similarity engines to time (float,packed)",
+        )
+        sub.add_argument(
+            "--cluster-ratios", type=_float_list, default=[0.8],
+            help="MEMHD initial cluster ratios R",
+        )
+        sub.add_argument(
+            "--noise", type=_float_list, default=[0.0], metavar="P",
+            help="IMC bit-flip probabilities (MEMHD cells only; 0 = ideal)",
+        )
+        sub.add_argument(
+            "--adc-bits", type=_adc_list, default=[None], metavar="BITS",
+            help="column ADC resolutions (MEMHD cells only; 'ideal' = none)",
+        )
+        sub.add_argument("--scale", type=float, default=0.02)
+        sub.add_argument("--epochs", type=int, default=5)
+        sub.add_argument("--learning-rate", type=float, default=0.05)
+        sub.add_argument("--id-levels", type=int, default=32)
+        sub.add_argument(
+            "--init", default="clustering", choices=("clustering", "random")
+        )
+        sub.add_argument("--seed", type=int, default=0)
+        sub.add_argument(
+            "--smoke", action="store_true",
+            help="replace the grid with a tiny fixed smoke preset (CI)",
+        )
+
+    sweep_run = sweep_sub.add_parser(
+        "run", help="expand a grid spec and execute its missing cells"
+    )
+    add_spec_options(sweep_run)
+    add_results_option(sweep_run)
+    sweep_run.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool width (1 runs cells inline)",
+    )
+    sweep_run.add_argument(
+        "--no-resume", action="store_true",
+        help="re-run every cell even when the store already has it",
+    )
+    sweep_run.add_argument(
+        "--max-jobs", type=int, default=None, metavar="N",
+        help="run at most N pending cells (smoke / staged runs)",
+    )
+    sweep_run.add_argument(
+        "--save-best", default=None, metavar="NAME[:TAG]",
+        help="retrain the best cell (by test accuracy) and checkpoint it "
+        "into the artifact registry",
+    )
+    add_store_option(sweep_run)
+
+    sweep_status = sweep_sub.add_parser(
+        "status", help="summarize a result store (and pending cells of a spec)"
+    )
+    add_spec_options(sweep_status)
+    add_results_option(sweep_status)
+
+    sweep_report = sweep_sub.add_parser(
+        "report", help="render a result store as tables / heatmaps"
+    )
+    add_results_option(sweep_report)
+    sweep_report.add_argument(
+        "--heatmap", action="store_true",
+        help="also print the dimension x columns accuracy heatmap",
+    )
+    sweep_report.add_argument(
+        "--value", default="test_accuracy",
+        help="metric pivoted into the heatmap cells",
+    )
+
+    sweep_diff = sweep_sub.add_parser(
+        "diff",
+        help="compare two result stores; exit 1 when metrics drifted",
+    )
+    sweep_diff.add_argument("left", help="baseline store (JSONL)")
+    sweep_diff.add_argument("right", help="candidate store (JSONL)")
+    sweep_diff.add_argument("--rtol", type=float, default=1e-9)
+    sweep_diff.add_argument("--atol", type=float, default=1e-12)
+    sweep_diff.add_argument(
+        "--metrics", type=_str_list, default=None,
+        help="only compare these metrics (default: all but timings)",
+    )
 
     return parser
 
@@ -276,77 +435,25 @@ def build_parser() -> argparse.ArgumentParser:
 # Command implementations
 # --------------------------------------------------------------------------
 def _build_model(args: argparse.Namespace, num_features: int, num_classes: int):
-    """Instantiate the requested model family from CLI arguments."""
-    if args.model == "memhd":
-        config = MEMHDConfig(
-            dimension=args.dimension,
-            columns=max(args.columns, num_classes),
-            cluster_ratio=args.cluster_ratio,
-            epochs=args.epochs,
-            learning_rate=args.learning_rate,
-            init_method=args.init,
-            seed=args.seed,
-        )
-        return MEMHDModel(num_features, num_classes, config, rng=args.seed)
-    if args.model == "basichdc":
-        return BasicHDC(
-            num_features,
-            num_classes,
-            BasicHDCConfig(
-                dimension=args.dimension,
-                refine_epochs=args.epochs,
-                learning_rate=args.learning_rate,
-                seed=args.seed,
-            ),
-        )
-    if args.model == "quanthd":
-        return QuantHD(
-            num_features,
-            num_classes,
-            QuantHDConfig(
-                dimension=args.dimension,
-                num_levels=args.id_levels,
-                epochs=args.epochs,
-                learning_rate=args.learning_rate,
-                seed=args.seed,
-            ),
-        )
-    if args.model == "searchd":
-        return SearcHD(
-            num_features,
-            num_classes,
-            SearcHDConfig(
-                dimension=args.dimension,
-                num_levels=args.id_levels,
-                num_models=8,
-                epochs=max(1, min(args.epochs, 3)),
-                seed=args.seed,
-            ),
-        )
-    if args.model == "lehdc":
-        return LeHDC(
-            num_features,
-            num_classes,
-            LeHDCConfig(
-                dimension=args.dimension,
-                num_levels=args.id_levels,
-                epochs=args.epochs,
-                learning_rate=max(args.learning_rate, 0.05),
-                seed=args.seed,
-            ),
-        )
-    if args.model == "onlinehd":
-        return OnlineHD(
-            num_features,
-            num_classes,
-            OnlineHDConfig(
-                dimension=args.dimension,
-                epochs=args.epochs,
-                learning_rate=args.learning_rate,
-                seed=args.seed,
-            ),
-        )
-    raise ValueError(f"unknown model {args.model!r}")
+    """Instantiate the requested model family from CLI arguments.
+
+    Delegates to :func:`repro.eval.sweep.build_model`, the factory shared
+    with the sweep workers, so ``repro train`` and a sweep cell with the
+    same hyperparameters construct identical models.
+    """
+    return build_model(
+        args.model,
+        num_features,
+        num_classes,
+        dimension=args.dimension,
+        columns=max(args.columns, num_classes),
+        epochs=args.epochs,
+        learning_rate=args.learning_rate,
+        cluster_ratio=args.cluster_ratio,
+        init_method=args.init,
+        id_levels=args.id_levels,
+        seed=args.seed,
+    )
 
 
 def _is_checkpoint_path(spec: str) -> bool:
@@ -533,21 +640,173 @@ def cmd_map(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_sweep(args: argparse.Namespace) -> int:
-    dataset = load_dataset(args.dataset, scale=args.scale, rng=args.seed)
-    base = MEMHDConfig(
-        dimension=args.dimensions[0],
-        columns=max(args.columns[0], dataset.num_classes),
+#: Fixed tiny grid used by ``repro sweep run --smoke`` (CI's rot check).
+SMOKE_SPEC = SweepSpec(
+    models=("memhd", "basichdc"),
+    datasets=("mnist",),
+    dimensions=(32, 64),
+    columns=(16,),
+    engines=("float", "packed"),
+    scale=0.01,
+    epochs=1,
+    seed=7,
+)
+
+
+def _spec_from_args(args: argparse.Namespace) -> SweepSpec:
+    """Build the sweep spec from ``--spec FILE``, ``--smoke`` or axis flags."""
+    if args.spec:
+        with open(args.spec, "r", encoding="utf-8") as handle:
+            return SweepSpec.from_dict(json.load(handle))
+    if args.smoke:
+        # A fixed preset, independent of the other axis flags, so every CI
+        # run exercises the identical tiny grid.
+        return SMOKE_SPEC
+    return SweepSpec(
+        models=tuple(args.models),
+        datasets=tuple(args.datasets),
+        dimensions=tuple(args.dimensions),
+        columns=tuple(args.columns),
+        cluster_ratios=tuple(args.cluster_ratios),
+        engines=tuple(args.engines),
+        bit_flip_probabilities=tuple(args.noise),
+        adc_bits=tuple(args.adc_bits),
+        scale=args.scale,
         epochs=args.epochs,
+        learning_rate=args.learning_rate,
+        id_levels=args.id_levels,
+        init_method=args.init,
         seed=args.seed,
     )
-    grid = grid_sweep(dataset, args.dimensions, args.columns, base_config=base, rng=args.seed)
-    print(
-        format_heatmap(
-            grid, title=f"MEMHD accuracy (%) over D x C on {args.dataset}"
+
+
+def cmd_sweep_run(args: argparse.Namespace) -> int:
+    try:
+        spec = _spec_from_args(args)
+        store = ResultStore(args.results)
+        result = run_sweep(
+            spec,
+            store,
+            workers=args.workers,
+            resume=not args.no_resume,
+            max_jobs=args.max_jobs,
+            progress=lambda line: print(line, file=sys.stderr),
         )
-    )
+        records = spec_records(spec, store)
+    except (SweepError, StoreError, OSError, json.JSONDecodeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(result.summary())
+    if records:
+        print(format_sweep_records(records, title=f"Sweep results ({store.path})"))
+    if args.save_best:
+        try:
+            best = best_record(records)
+            model, dataset = train_record_model(best)
+            registry = ArtifactRegistry(args.store)
+            name, _, tag = args.save_best.partition(":")
+            entry = registry.save(
+                model, name, tag=tag or None, dataset=dataset, metrics=best.metrics
+            )
+        except (SweepError, CheckpointError, RegistryError, OSError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        print(
+            f"saved best cell ({best.config['model']} on "
+            f"{best.config['dataset']}, accuracy "
+            f"{100.0 * best.metrics['test_accuracy']:.2f}%) to {entry.spec}"
+        )
+    if result.failed:
+        for failure in result.failed:
+            print(f"failed cell {failure['key']}: {failure['error']}", file=sys.stderr)
+        return 1
     return 0
+
+
+def cmd_sweep_status(args: argparse.Namespace) -> int:
+    try:
+        spec = _spec_from_args(args)
+        store = ResultStore(args.results)
+        jobs = spec.expand()
+        completed = store.completed_keys()
+    except (SweepError, StoreError, OSError, json.JSONDecodeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    done = [job for job in jobs if job.key in completed]
+    pending = [job for job in jobs if job.key not in completed]
+    print(
+        f"store {store.path}: {len(store)} stored cell(s); spec: "
+        f"{len(jobs)} cell(s), {len(done)} completed, {len(pending)} pending"
+    )
+    for job in pending[:10]:
+        print(f"  pending {job.key}: {job.config['model']} on "
+              f"{job.config['dataset']} (D={job.config['dimension']})")
+    if len(pending) > 10:
+        print(f"  ... and {len(pending) - 10} more")
+    return 0
+
+
+def cmd_sweep_report(args: argparse.Namespace) -> int:
+    store = ResultStore(args.results)
+    try:
+        records = list(store.latest().values())
+    except StoreError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if not records:
+        print(f"no results in {store.path}")
+        return 0
+    print(format_sweep_records(records, title=f"Sweep results ({store.path})"))
+    if args.heatmap:
+        grid = sweep_grid(records, value=args.value)
+        if grid:
+            # Accuracy metrics are fractions and render as percentages;
+            # anything else (memory, throughput) displays unscaled.
+            is_fraction = args.value.endswith("accuracy")
+            unit = " (%)" if is_fraction else ""
+            print()
+            print(
+                format_heatmap(
+                    grid,
+                    title=f"{args.value}{unit} over D (rows) x C (columns)",
+                    cell_format="{:6.1f}" if is_fraction else "{:8.4g}",
+                    cell_scale=100.0 if is_fraction else 1.0,
+                )
+            )
+        else:
+            print("(no ideal cells carry both dimension and columns axes)")
+    return 0
+
+
+def cmd_sweep_diff(args: argparse.Namespace) -> int:
+    for path in (args.left, args.right):
+        if not os.path.isfile(path):
+            print(f"error: no such result store: {path}", file=sys.stderr)
+            return 2
+    try:
+        diff = ResultStore(args.left).diff(
+            ResultStore(args.right),
+            rtol=args.rtol,
+            atol=args.atol,
+            metrics=args.metrics,
+        )
+    except StoreError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(format_store_diff(diff, title=f"{args.left} vs {args.right}"))
+    return 0 if diff.is_clean else 1
+
+
+SWEEP_COMMANDS = {
+    "run": cmd_sweep_run,
+    "status": cmd_sweep_status,
+    "report": cmd_sweep_report,
+    "diff": cmd_sweep_diff,
+}
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    return SWEEP_COMMANDS[args.sweep_command](args)
 
 
 def cmd_serve(args: argparse.Namespace) -> int:

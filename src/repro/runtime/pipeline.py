@@ -35,6 +35,13 @@ import numpy as np
 #: Engines a pipeline can route chunks through.
 ENGINES = ("float", "packed")
 
+#: Floor applied to elapsed wall times before computing rates.  Tiny
+#: batches can finish between two clock ticks, making the raw elapsed time
+#: 0.0; reporting an infinite throughput for them would poison downstream
+#: aggregations (means, JSON stores), so rates are computed against at
+#: least one nanosecond -- well below any measurable run.
+MIN_MEASURABLE_SECONDS = 1e-9
+
 
 @dataclass(frozen=True)
 class PipelineStats:
@@ -69,10 +76,14 @@ class PipelineStats:
 
     @property
     def queries_per_second(self) -> float:
-        """End-to-end serving throughput."""
-        if self.elapsed_seconds <= 0.0:
-            return float("inf")
-        return self.total_queries / self.elapsed_seconds
+        """End-to-end serving throughput.
+
+        Always finite: sub-resolution elapsed times are clamped to
+        :data:`MIN_MEASURABLE_SECONDS` so a timer reading of exactly zero
+        (possible for tiny batches on coarse clocks) yields a huge but
+        finite -- and JSON-serializable -- rate instead of ``inf``.
+        """
+        return self.total_queries / max(self.elapsed_seconds, MIN_MEASURABLE_SECONDS)
 
     def as_dict(self) -> dict:
         return {

@@ -1,5 +1,7 @@
 """Unit tests for the command-line interface (repro.cli)."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -270,6 +272,28 @@ class TestCommands:
         assert "packed" in output
 
     def test_predict_command_rejects_unwired_model(self, capsys):
+        # OnlineHD keeps a floating-point AM, so it is the one model family
+        # the packed popcount engine cannot serve.
+        exit_code = main(
+            [
+                "predict",
+                "--dataset",
+                "mnist",
+                "--scale",
+                "0.01",
+                "--model",
+                "onlinehd",
+                "--epochs",
+                "1",
+                "--engine",
+                "packed",
+            ]
+        )
+        assert exit_code == 2
+        assert "packed engine" in capsys.readouterr().err
+
+    def test_predict_command_packed_serves_searchd(self, capsys):
+        # SearcHD gained a packed path; `--engine both` asserts bit-equality.
         exit_code = main(
             [
                 "predict",
@@ -279,14 +303,20 @@ class TestCommands:
                 "0.01",
                 "--model",
                 "searchd",
+                "--dimension",
+                "64",
                 "--epochs",
                 "1",
                 "--engine",
-                "packed",
+                "both",
+                "--batch-size",
+                "64",
+                "--repeats",
+                "1",
             ]
         )
-        assert exit_code == 2
-        assert "packed engine" in capsys.readouterr().err
+        assert exit_code == 0
+        assert "packed" in capsys.readouterr().out
 
     def test_predict_without_load_prints_retrain_notice(self, capsys):
         exit_code = main(
@@ -320,25 +350,37 @@ class TestCommands:
         assert "MEMHD" in output
         assert "80.0x fewer cycles" in output
 
-    def test_sweep_command(self, capsys):
+    def test_sweep_run_command(self, tmp_path, capsys):
+        results = str(tmp_path / "r.jsonl")
         exit_code = main(
             [
                 "sweep",
-                "--dataset",
+                "run",
+                "--models",
+                "memhd",
+                "--datasets",
                 "mnist",
                 "--scale",
                 "0.01",
                 "--dimensions",
                 "32,64",
                 "--columns",
-                "16,32",
+                "16",
                 "--epochs",
                 "1",
+                "--results",
+                results,
             ]
         )
-        output = capsys.readouterr().out
+        captured = capsys.readouterr()
         assert exit_code == 0
-        assert "D \\ C" in output
+        assert "2 executed" in captured.out
+        assert "test_accuracy_%" in captured.out
+        # Re-running the identical spec resumes: nothing left to execute.
+        assert main(["sweep", "run", "--models", "memhd", "--datasets", "mnist",
+                     "--scale", "0.01", "--dimensions", "32,64", "--columns", "16",
+                     "--epochs", "1", "--results", results]) == 0
+        assert "0 executed" in capsys.readouterr().out
 
 
 class TestPersistenceWorkflow:
@@ -525,3 +567,227 @@ class TestPersistenceWorkflow:
             blocker.close()
         assert exit_code == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestErrorPaths:
+    """Exit codes and stderr messages of the failure modes users hit."""
+
+    def test_unknown_model_name_rejected_with_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["train", "--model", "notamodel"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "invalid choice" in err
+        assert "notamodel" in err
+
+    def test_predict_load_corrupt_checkpoint_manifest(self, tmp_path, capsys):
+        """A checkpoint whose manifest cannot be read fails with exit 2."""
+        bad = tmp_path / "corrupt.npz"
+        bad.write_bytes(b"PK\x03\x04 this is not a valid checkpoint archive")
+        exit_code = main(
+            [
+                "predict",
+                "--dataset",
+                "mnist",
+                "--scale",
+                "0.01",
+                "--load",
+                str(bad),
+                "--repeats",
+                "1",
+            ]
+        )
+        assert exit_code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "retrained from scratch" not in err
+
+    def test_predict_load_tampered_manifest_json(self, tmp_path, capsys):
+        """A structurally-valid archive with manifest garbage also exits 2."""
+        import numpy as np
+
+        bad = tmp_path / "tampered.npz"
+        np.savez(bad, __manifest__=np.frombuffer(b"{not json", dtype=np.uint8))
+        exit_code = main(
+            [
+                "predict",
+                "--dataset",
+                "mnist",
+                "--scale",
+                "0.01",
+                "--load",
+                str(bad),
+                "--repeats",
+                "1",
+            ]
+        )
+        assert exit_code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_sweep_run_empty_grid(self, tmp_path, capsys):
+        """A grid where every cell is unrealizable must refuse to run."""
+        exit_code = main(
+            [
+                "sweep",
+                "run",
+                "--models",
+                "onlinehd",
+                "--engines",
+                "packed",
+                "--dimensions",
+                "32",
+                "--results",
+                str(tmp_path / "r.jsonl"),
+            ]
+        )
+        assert exit_code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "empty grid" in err
+        assert not (tmp_path / "r.jsonl").exists()
+
+    def test_models_show_missing_tag(self, tmp_path, capsys):
+        """`models show name:tag` on a tag that was never saved exits 2."""
+        store = str(tmp_path / "store")
+        assert main(
+            [
+                "train",
+                "--dataset",
+                "mnist",
+                "--scale",
+                "0.01",
+                "--dimension",
+                "64",
+                "--columns",
+                "16",
+                "--epochs",
+                "1",
+                "--save",
+                "demo",
+                "--store",
+                store,
+            ]
+        ) == 0
+        capsys.readouterr()
+        exit_code = main(["models", "show", "demo:v99", "--store", store])
+        assert exit_code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "demo:v99" in err
+
+
+class TestSweepCLI:
+    """The sweep subcommands end to end through main()."""
+
+    RUN_ARGS = [
+        "sweep",
+        "run",
+        "--models",
+        "memhd,basichdc",
+        "--datasets",
+        "mnist",
+        "--scale",
+        "0.01",
+        "--dimensions",
+        "32",
+        "--columns",
+        "16",
+        "--engines",
+        "float,packed",
+        "--epochs",
+        "1",
+        "--seed",
+        "5",
+    ]
+
+    def test_smoke_preset_runs(self, tmp_path, capsys):
+        results = str(tmp_path / "smoke.jsonl")
+        assert main(["sweep", "run", "--smoke", "--results", results]) == 0
+        out = capsys.readouterr().out
+        assert "8 cell(s): 8 executed" in out
+
+    def test_status_reports_pending_and_completed(self, tmp_path, capsys):
+        results = str(tmp_path / "r.jsonl")
+        assert main(self.RUN_ARGS + ["--results", results, "--max-jobs", "1"]) == 0
+        capsys.readouterr()
+        assert main(
+            ["sweep", "status"] + self.RUN_ARGS[2:] + ["--results", results]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "4 cell(s), 1 completed, 3 pending" in out
+
+    def test_report_renders_table_and_heatmap(self, tmp_path, capsys):
+        results = str(tmp_path / "r.jsonl")
+        assert main(self.RUN_ARGS + ["--results", results]) == 0
+        capsys.readouterr()
+        assert main(["sweep", "report", "--results", results, "--heatmap"]) == 0
+        out = capsys.readouterr().out
+        assert "test_accuracy_%" in out
+        assert "D \\ C" in out
+
+    def test_report_empty_store(self, tmp_path, capsys):
+        assert main(["sweep", "report", "--results", str(tmp_path / "x.jsonl")]) == 0
+        assert "no results" in capsys.readouterr().out
+
+    def test_diff_clean_and_drifted(self, tmp_path, capsys):
+        import json
+
+        left = str(tmp_path / "left.jsonl")
+        right = str(tmp_path / "right.jsonl")
+        assert main(self.RUN_ARGS + ["--results", left]) == 0
+        assert main(self.RUN_ARGS + ["--results", right]) == 0
+        capsys.readouterr()
+        assert main(["sweep", "diff", left, right]) == 0
+        assert "identical" in capsys.readouterr().out
+
+        # Inject a metric change: diff must flag it and exit 1.
+        lines = [json.loads(line) for line in open(right)]
+        lines[0]["metrics"]["test_accuracy"] += 0.5
+        with open(right, "w") as handle:
+            handle.write("\n".join(json.dumps(line) for line in lines) + "\n")
+        assert main(["sweep", "diff", left, right]) == 1
+        assert "test_accuracy" in capsys.readouterr().out
+
+    def test_diff_missing_store_errors(self, tmp_path, capsys):
+        present = str(tmp_path / "a.jsonl")
+        assert main(["sweep", "run", "--smoke", "--results", present]) == 0
+        capsys.readouterr()
+        exit_code = main(["sweep", "diff", present, str(tmp_path / "ghost.jsonl")])
+        assert exit_code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_spec_file_round_trip(self, tmp_path, capsys):
+        import json
+
+        from repro.eval.sweep import SweepSpec
+
+        spec = SweepSpec(
+            models=("basichdc",), dimensions=(32,), scale=0.01, epochs=1, seed=9
+        )
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(spec.to_dict()))
+        results = str(tmp_path / "r.jsonl")
+        assert main(
+            ["sweep", "run", "--spec", str(spec_path), "--results", results]
+        ) == 0
+        assert "1 executed" in capsys.readouterr().out
+
+    def test_save_best_lands_in_registry(self, tmp_path, capsys):
+        results = str(tmp_path / "r.jsonl")
+        store = str(tmp_path / "registry")
+        assert main(
+            self.RUN_ARGS
+            + ["--results", results, "--save-best", "sweep-best", "--store", store]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "saved best cell" in out
+        assert "sweep-best:v1" in out
+        registry = ArtifactRegistry(store)
+        manifest = registry.inspect("sweep-best")
+        assert manifest.metrics["test_accuracy"] == pytest.approx(
+            max(
+                json.loads(line)["metrics"]["test_accuracy"]
+                for line in open(results)
+                if "test_accuracy" in json.loads(line)["metrics"]
+            )
+        )

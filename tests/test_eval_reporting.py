@@ -6,8 +6,11 @@ import pytest
 from repro.eval.reporting import (
     format_accuracy_memory,
     format_heatmap,
+    format_store_diff,
+    format_sweep_records,
     format_table,
     normalize_series,
+    sweep_grid,
 )
 
 
@@ -101,3 +104,65 @@ class TestFormatHeatmap:
 
     def test_empty_grid(self):
         assert format_heatmap({}) == "(empty heatmap)"
+
+    def test_cell_scale_for_non_fraction_metrics(self):
+        grid = {(64, 64): 3.125, (128, 64): 6.25}
+        text = format_heatmap(grid, cell_format="{:8.4g}", cell_scale=1.0)
+        assert "3.125" in text
+        assert "312.5" not in text
+
+
+class TestSweepRenderers:
+    IDEAL = {
+        "config": {
+            "model": "memhd",
+            "dataset": "mnist",
+            "dimension": 64,
+            "columns": 16,
+            "engine": "float",
+            "bit_flip_probability": 0.0,
+            "adc_bits": None,
+        },
+        "metrics": {"test_accuracy": 0.8, "memory_kib": 6.25},
+    }
+    NOISY = {
+        "config": {
+            "model": "memhd",
+            "dataset": "mnist",
+            "dimension": 64,
+            "columns": 16,
+            "engine": None,
+            "bit_flip_probability": 0.05,
+            "adc_bits": None,
+        },
+        "metrics": {"test_accuracy": 0.3, "memory_kib": 6.25},
+    }
+
+    def test_format_sweep_records_lists_cells(self):
+        text = format_sweep_records([self.IDEAL, self.NOISY], title="Sweep")
+        assert "Sweep" in text
+        assert "memhd" in text
+        assert "80.00" in text  # accuracy rendered as a percentage
+        assert "flip_p" in text  # the noise axis appears for noisy cells
+
+    def test_sweep_grid_skips_non_ideal_cells_by_default(self):
+        """Noisy cells share the (D, C) key; they must not clobber ideal ones."""
+        grid = sweep_grid([self.IDEAL, self.NOISY])
+        assert grid == {(64, 16): pytest.approx(0.8)}
+        # Opting out pivots whatever the caller pre-filtered.
+        noisy_only = sweep_grid([self.NOISY], ideal_only=False)
+        assert noisy_only == {(64, 16): pytest.approx(0.3)}
+
+    def test_format_store_diff_renders_changes(self, tmp_path):
+        from repro.eval.store import ResultStore
+
+        left = ResultStore(tmp_path / "a.jsonl")
+        right = ResultStore(tmp_path / "b.jsonl")
+        left.append({"model": "memhd"}, {"test_accuracy": 0.8})
+        right.append({"model": "memhd"}, {"test_accuracy": 0.6})
+        text = format_store_diff(left.diff(right), title="golden vs fresh")
+        assert "golden vs fresh" in text
+        assert "test_accuracy" in text
+        assert "0.8" in text and "0.6" in text
+        clean = format_store_diff(left.diff(left))
+        assert "identical" in clean

@@ -1,0 +1,192 @@
+"""Tests for the append-only JSONL result store (repro.eval.store)."""
+
+import json
+
+import pytest
+
+from repro.eval.store import (
+    ResultRecord,
+    ResultStore,
+    StoreError,
+    canonical_config,
+    config_key,
+)
+
+
+class TestConfigKey:
+    def test_key_is_order_insensitive(self):
+        a = {"model": "memhd", "dimension": 64, "engine": "float"}
+        b = {"engine": "float", "model": "memhd", "dimension": 64}
+        assert config_key(a) == config_key(b)
+
+    def test_key_changes_with_any_field(self):
+        base = {"model": "memhd", "dimension": 64}
+        assert config_key(base) != config_key({**base, "dimension": 65})
+        assert config_key(base) != config_key({**base, "extra": None})
+
+    def test_key_is_stable_across_processes(self):
+        # Pinned literal: the hash must never depend on interpreter state
+        # (PYTHONHASHSEED, dict order, platform), or resume would break.
+        assert config_key({"model": "memhd", "dimension": 64}) == config_key(
+            json.loads(canonical_config({"dimension": 64, "model": "memhd"}))
+        )
+
+    def test_unserializable_config_rejected(self):
+        with pytest.raises(StoreError):
+            config_key({"bad": object()})
+
+
+class TestResultStore:
+    def test_missing_file_reads_empty(self, tmp_path):
+        store = ResultStore(tmp_path / "none.jsonl")
+        assert store.records() == []
+        assert store.completed_keys() == set()
+        assert len(store) == 0
+
+    def test_append_and_reload(self, tmp_path):
+        store = ResultStore(tmp_path / "r.jsonl")
+        record = store.append({"model": "memhd"}, {"test_accuracy": 0.5})
+        reloaded = ResultStore(store.path).records()
+        assert reloaded == [record]
+        assert reloaded[0].key == config_key({"model": "memhd"})
+
+    def test_duplicate_keys_last_write_wins(self, tmp_path):
+        store = ResultStore(tmp_path / "r.jsonl")
+        store.append({"model": "memhd"}, {"test_accuracy": 0.5})
+        store.append({"model": "memhd"}, {"test_accuracy": 0.7})
+        assert len(store.records()) == 2
+        assert len(store) == 1
+        assert store.latest()[config_key({"model": "memhd"})].metrics[
+            "test_accuracy"
+        ] == pytest.approx(0.7)
+
+    def test_torn_final_line_is_recoverable(self, tmp_path):
+        """A sweep killed mid-write leaves a partial last line; reads skip it."""
+        store = ResultStore(tmp_path / "r.jsonl")
+        kept = store.append({"model": "memhd"}, {"test_accuracy": 0.5})
+        with open(store.path, "a", encoding="utf-8") as handle:
+            handle.write('{"key": "abc", "config": {"model":')  # torn write
+        assert store.records() == [kept]
+
+    def test_append_after_torn_tail_does_not_fuse(self, tmp_path):
+        """Resuming onto a torn tail must not weld the new record onto it.
+
+        The partial line is truncated away on the next append; afterwards
+        both the pre-kill and post-resume records read back cleanly (no
+        fused unparseable line, no mid-file corruption on later reads).
+        """
+        store = ResultStore(tmp_path / "r.jsonl")
+        first = store.append({"model": "memhd"}, {"test_accuracy": 0.5})
+        with open(store.path, "a", encoding="utf-8") as handle:
+            handle.write('{"key": "abc", "config": {"model":')  # killed writer
+        second = store.append({"model": "basichdc"}, {"test_accuracy": 0.6})
+        third = store.append({"model": "quanthd"}, {"test_accuracy": 0.7})
+        assert store.records() == [first, second, third]
+        assert len(store) == 3
+
+    def test_append_onto_wholly_torn_file(self, tmp_path):
+        """A store whose only content is a torn line heals to just the append."""
+        path = tmp_path / "r.jsonl"
+        path.write_text('{"key": "abc"')  # no newline, no complete record
+        store = ResultStore(path)
+        record = store.append({"model": "memhd"}, {"test_accuracy": 0.5})
+        assert store.records() == [record]
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        store = ResultStore(path)
+        store.append({"model": "memhd"}, {"test_accuracy": 0.5})
+        lines = path.read_text().splitlines()
+        path.write_text("GARBAGE\n" + "\n".join(lines) + "\n")
+        with pytest.raises(StoreError):
+            store.records()
+
+    def test_extend_round_trips_records(self, tmp_path):
+        source = ResultStore(tmp_path / "a.jsonl")
+        source.append({"model": "memhd"}, {"test_accuracy": 0.5})
+        target = ResultStore(tmp_path / "b.jsonl")
+        target.extend(source.records())
+        assert target.latest() == source.latest()
+
+    def test_record_requires_all_fields(self):
+        with pytest.raises(StoreError):
+            ResultRecord.from_dict({"key": "abc", "config": {}})
+
+
+class TestStoreDiff:
+    def _store(self, tmp_path, name, cells):
+        store = ResultStore(tmp_path / f"{name}.jsonl")
+        for config, metrics in cells:
+            store.append(config, metrics)
+        return store
+
+    def test_identical_stores_are_clean(self, tmp_path):
+        cells = [({"model": "memhd", "dimension": 64}, {"test_accuracy": 0.8})]
+        left = self._store(tmp_path, "left", cells)
+        right = self._store(tmp_path, "right", cells)
+        diff = left.diff(right)
+        assert diff.is_clean
+        assert diff.matching == 1
+
+    def test_metric_drift_detected(self, tmp_path):
+        config = {"model": "memhd", "dimension": 64}
+        left = self._store(tmp_path, "left", [(config, {"test_accuracy": 0.8})])
+        right = self._store(tmp_path, "right", [(config, {"test_accuracy": 0.6})])
+        diff = left.diff(right)
+        assert not diff.is_clean
+        assert len(diff.changed) == 1
+        change = diff.changed[0]
+        assert change.metric == "test_accuracy"
+        assert change.old == pytest.approx(0.8)
+        assert change.new == pytest.approx(0.6)
+
+    def test_timing_metrics_ignored_by_default(self, tmp_path):
+        config = {"model": "memhd"}
+        left = self._store(
+            tmp_path, "left", [(config, {"test_accuracy": 0.8, "elapsed_s": 1.0})]
+        )
+        right = self._store(
+            tmp_path, "right", [(config, {"test_accuracy": 0.8, "elapsed_s": 9.0})]
+        )
+        assert left.diff(right).is_clean
+        # ... unless the caller opts in to comparing them.
+        assert not left.diff(right, ignore=()).is_clean
+
+    def test_tolerance_is_honored(self, tmp_path):
+        config = {"model": "memhd"}
+        left = self._store(tmp_path, "left", [(config, {"test_accuracy": 0.8})])
+        right = self._store(
+            tmp_path, "right", [(config, {"test_accuracy": 0.8 + 1e-12})]
+        )
+        assert left.diff(right).is_clean
+        assert not left.diff(right, rtol=0.0, atol=0.0).is_clean
+
+    def test_metric_allowlist(self, tmp_path):
+        config = {"model": "memhd"}
+        left = self._store(
+            tmp_path, "left", [(config, {"test_accuracy": 0.8, "memory_kib": 3.0})]
+        )
+        right = self._store(
+            tmp_path, "right", [(config, {"test_accuracy": 0.8, "memory_kib": 4.0})]
+        )
+        assert left.diff(right, metrics=("test_accuracy",)).is_clean
+        assert not left.diff(right).is_clean
+
+    def test_missing_cells_reported(self, tmp_path):
+        only_left = {"model": "memhd", "dimension": 32}
+        only_right = {"model": "memhd", "dimension": 64}
+        left = self._store(tmp_path, "left", [(only_left, {"test_accuracy": 0.5})])
+        right = self._store(tmp_path, "right", [(only_right, {"test_accuracy": 0.5})])
+        diff = left.diff(right)
+        assert not diff.is_clean
+        assert diff.only_left == [config_key(only_left)]
+        assert diff.only_right == [config_key(only_right)]
+
+    def test_missing_metric_counts_as_change(self, tmp_path):
+        config = {"model": "memhd"}
+        left = self._store(tmp_path, "left", [(config, {"test_accuracy": 0.8})])
+        right = self._store(
+            tmp_path, "right", [(config, {"test_accuracy": 0.8, "extra": 1.0})]
+        )
+        diff = left.diff(right)
+        assert [change.metric for change in diff.changed] == ["extra"]

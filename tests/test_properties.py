@@ -220,6 +220,100 @@ class TestPackedEquivalenceProperties:
 
 
 # --------------------------------------------------------------------------
+# Model-level engine equivalence (all five baselines + MEMHD)
+# --------------------------------------------------------------------------
+#: Model families whose ``predict`` must be bit-exact across engines.
+#: Built through :func:`repro.eval.sweep.build_model`, the same factory the
+#: CLI and the sweep workers use, so the property covers the shipped
+#: construction path.
+PACKED_FAMILIES = ("memhd", "basichdc", "quanthd", "searchd", "lehdc")
+
+#: Dimensions biased toward packed-engine edge cases: single-word,
+#: word-aligned, and odd tail-word (mask-needing) layouts.
+EDGE_DIMENSIONS = (3, 33, 64, 65, 127, 130)
+
+
+def _tiny_problem(seed: int):
+    """A small random classification problem (features in [0, 1])."""
+    gen = np.random.default_rng(seed)
+    num_features, num_classes, samples = 8, 3, 30
+    train_x = gen.random((samples, num_features))
+    train_y = gen.integers(0, num_classes, size=samples).astype(np.int64)
+    # Every class needs at least one sample for the clustering init.
+    train_y[:num_classes] = np.arange(num_classes)
+    test_x = gen.random((12, num_features))
+    return num_features, num_classes, train_x, train_y, test_x
+
+
+class TestModelEngineEquivalence:
+    """Differential tests: ``engine="packed"`` must equal ``engine="float"``.
+
+    Covers every model family with a packed path -- MEMHD and all the
+    baselines except the floating-point-AM OnlineHD, whose contract is a
+    loud rejection -- across odd and tail-word dimensions.
+    """
+
+    @pytest.mark.parametrize("family", PACKED_FAMILIES)
+    @settings(max_examples=6, deadline=None)
+    @given(
+        dimension=st.sampled_from(EDGE_DIMENSIONS),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_packed_predictions_match_float(self, family, dimension, seed):
+        from repro.eval.sweep import build_model
+
+        num_features, num_classes, train_x, train_y, test_x = _tiny_problem(seed)
+        model = build_model(
+            family,
+            num_features,
+            num_classes,
+            dimension=dimension,
+            columns=max(4, num_classes),
+            epochs=1,
+            id_levels=4,
+            seed=seed % 1000,
+        )
+        model.fit(train_x, train_y)
+        float_labels = model.predict(test_x, engine="float")
+        packed_labels = model.predict(test_x, engine="packed")
+        assert np.array_equal(float_labels, packed_labels)
+        # The default engine is the float path.
+        assert np.array_equal(model.predict(test_x), float_labels)
+        # Single-query (1-D) inputs take the same paths.
+        assert np.array_equal(
+            model.predict(test_x[0], engine="packed"),
+            model.predict(test_x[0], engine="float"),
+        )
+
+    @settings(max_examples=4, deadline=None)
+    @given(
+        dimension=st.sampled_from(EDGE_DIMENSIONS),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_onlinehd_engine_contract(self, dimension, seed):
+        """OnlineHD: float works, packed is rejected loudly (FP memory)."""
+        from repro.eval.sweep import build_model
+
+        num_features, num_classes, train_x, train_y, test_x = _tiny_problem(seed)
+        model = build_model(
+            "onlinehd",
+            num_features,
+            num_classes,
+            dimension=dimension,
+            epochs=1,
+            seed=seed % 1000,
+        )
+        model.fit(train_x, train_y)
+        assert np.array_equal(
+            model.predict(test_x), model.predict(test_x, engine="float")
+        )
+        with pytest.raises(ValueError, match="packed engine"):
+            model.predict(test_x, engine="packed")
+        with pytest.raises(ValueError):
+            model.predict(test_x, engine="quantum")
+
+
+# --------------------------------------------------------------------------
 # Quantization invariants
 # --------------------------------------------------------------------------
 class TestQuantizationProperties:

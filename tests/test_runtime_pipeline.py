@@ -64,6 +64,48 @@ class TestPipelineBasics:
         assert stats.queries_per_second > 0
         assert stats.as_dict()["engine"] == "float"
 
+    def test_queries_per_second_finite_on_zero_elapsed(self):
+        """Sub-resolution timings must clamp, not report ``inf`` throughput."""
+        import json
+        import math
+
+        from repro.runtime.pipeline import MIN_MEASURABLE_SECONDS
+
+        stats = PipelineStats(
+            engine="float",
+            total_queries=64,
+            num_chunks=1,
+            chunk_size=64,
+            workers=1,
+            elapsed_seconds=0.0,
+        )
+        rate = stats.queries_per_second
+        assert math.isfinite(rate)
+        assert rate == pytest.approx(64 / MIN_MEASURABLE_SECONDS)
+        # Negative clock skew readings clamp the same way.
+        skewed = PipelineStats(
+            engine="float",
+            total_queries=64,
+            num_chunks=1,
+            chunk_size=64,
+            workers=1,
+            elapsed_seconds=-1e-6,
+        )
+        assert math.isfinite(skewed.queries_per_second)
+        # The rate must survive a JSON round-trip (inf would not).
+        payload = json.dumps(stats.as_dict())
+        assert json.loads(payload)["queries_per_s"] == pytest.approx(rate)
+        # Ordinary measurable timings are untouched by the clamp.
+        timed = PipelineStats(
+            engine="float",
+            total_queries=100,
+            num_chunks=1,
+            chunk_size=128,
+            workers=1,
+            elapsed_seconds=0.5,
+        )
+        assert timed.queries_per_second == pytest.approx(200.0)
+
     def test_warmup_is_idempotent(self, trained_memhd):
         model, _ = trained_memhd
         pipeline = InferencePipeline(model, engine="packed")

@@ -20,9 +20,18 @@ subcommands cover the everyday workflows:
     throughput.  With ``--load`` the model comes from a checkpoint (no
     retraining); without it the model is trained from scratch first.
 
-``repro serve --load mnist-memhd --port 8000``
-    Long-lived daemon: load a checkpoint into a warm pipeline and answer
-    JSON ``/predict`` / ``/healthz`` / ``/stats`` requests over HTTP.
+``repro serve --models mnist-memhd:latest,fmnist-quanthd:v3 --port 8000``
+    Long-lived daemon: host one or many registry checkpoints behind warm
+    pipelines with micro-batching (``--max-batch`` / ``--max-wait-ms``),
+    bounded-queue backpressure (``--queue-depth`` -> HTTP 429) and
+    zero-downtime hot-swap (``POST /reload``); answers JSON ``/predict``,
+    ``/models/<name>/predict``, ``/healthz``, ``/stats`` and ``/manifest``
+    requests over HTTP.  ``--load`` serves a single checkpoint (path or
+    registry spec) exactly as before.
+
+``repro loadtest --url http://127.0.0.1:8000 --concurrency 32``
+    Open/closed-loop load generator against a live daemon; reports
+    achieved QPS and p50/p95/p99 latency, plus per-status error counts.
 
 ``repro models list|show|prune``
     Inspect and garbage-collect the on-disk artifact registry
@@ -89,6 +98,7 @@ from repro.io.checkpoint import (
     save_checkpoint,
 )
 from repro.io.registry import ArtifactRegistry, RegistryError
+from repro.runtime.loadtest import run_load
 from repro.runtime.pipeline import throughput_comparison
 from repro.runtime.server import ModelServer
 
@@ -241,11 +251,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     serve = subparsers.add_parser(
         "serve",
-        help="long-lived daemon serving a checkpointed model over HTTP",
+        help="long-lived multi-model daemon with micro-batching over HTTP",
     )
     serve.add_argument(
-        "--load", required=True, metavar="CKPT",
-        help="checkpoint to serve (path or registry 'name[:tag]')",
+        "--load", default=None, metavar="CKPT",
+        help="single checkpoint to serve (path or registry 'name[:tag]'); "
+        "combinable with --models",
+    )
+    serve.add_argument(
+        "--models", type=_str_list, default=None, metavar="SPEC[,SPEC...]",
+        help="registry specs to serve concurrently (comma-separated "
+        "'name[:tag]'), each routed at /models/<name>/predict and "
+        "hot-swappable via POST /reload",
     )
     add_store_option(serve)
     serve.add_argument("--host", default="127.0.0.1", help="bind address")
@@ -263,7 +280,76 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--workers", type=int, default=1,
-        help="thread-pool width for sharding chunks within a request",
+        help="thread-pool width for sharding chunks within a micro-batch",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=64, metavar="ROWS",
+        help="micro-batch row bound: concurrent requests are coalesced "
+        "until this many rows are queued (default 64)",
+    )
+    serve.add_argument(
+        "--max-wait-ms", type=float, default=2.0, metavar="MS",
+        help="longest a request is held open for coalescing (default 2)",
+    )
+    serve.add_argument(
+        "--queue-depth", type=int, default=128, metavar="N",
+        help="per-model bound on queued requests; beyond it the server "
+        "sheds load with HTTP 429 + Retry-After (default 128)",
+    )
+    serve.add_argument(
+        "--no-batching", action="store_true",
+        help="disable micro-batching: one direct pipeline call per "
+        "request (the pre-v2 behaviour; the loadtest baseline)",
+    )
+
+    loadtest = subparsers.add_parser(
+        "loadtest",
+        help="open/closed-loop load generator against a live serve daemon",
+    )
+    loadtest.add_argument(
+        "--url", default="http://127.0.0.1:8000",
+        help="base URL of the server (default http://127.0.0.1:8000)",
+    )
+    loadtest.add_argument(
+        "--model", default=None, metavar="NAME",
+        help="route requests at /models/NAME/predict instead of /predict",
+    )
+    loadtest.add_argument(
+        "--mode", default="closed", choices=("closed", "open"),
+        help="closed: each worker keeps one request in flight; open: "
+        "requests start on a fixed --rate schedule",
+    )
+    loadtest.add_argument(
+        "--concurrency", type=int, default=32, help="worker thread count"
+    )
+    loadtest.add_argument(
+        "--duration", type=float, default=5.0, metavar="S",
+        help="measurement window in seconds (default 5)",
+    )
+    loadtest.add_argument(
+        "--batch", type=int, default=1, metavar="ROWS",
+        help="feature rows per request (default 1)",
+    )
+    loadtest.add_argument(
+        "--rate", type=float, default=None, metavar="RPS",
+        help="offered requests/second (open-loop mode only)",
+    )
+    loadtest.add_argument(
+        "--deadline-ms", type=float, default=None, metavar="MS",
+        help="per-request deadline forwarded to the server",
+    )
+    loadtest.add_argument(
+        "--num-features", type=int, default=None, metavar="F",
+        help="payload feature width (discovered from the server when omitted)",
+    )
+    loadtest.add_argument("--seed", type=int, default=0, help="payload seed")
+    loadtest.add_argument(
+        "--fail-on-error", action="store_true",
+        help="exit non-zero when any request failed (CI smoke gates)",
+    )
+    loadtest.add_argument(
+        "--smoke", action="store_true",
+        help="tiny fixed preset (8 workers, 1.5 s) for CI smoke runs",
     )
 
     models = subparsers.add_parser(
@@ -810,11 +896,17 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
-    try:
-        model, manifest = _load_saved_model(args.load, args.store)
-    except (CheckpointError, RegistryError, FileNotFoundError) as error:
-        print(f"error: {error}", file=sys.stderr)
+    if not args.load and not args.models:
+        print("error: provide --load CKPT and/or --models SPEC[,SPEC...]",
+              file=sys.stderr)
         return 2
+    model = manifest = None
+    if args.load:
+        try:
+            model, manifest = _load_saved_model(args.load, args.store)
+        except (CheckpointError, RegistryError, FileNotFoundError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
     try:
         server = ModelServer(
             model,
@@ -824,23 +916,83 @@ def cmd_serve(args: argparse.Namespace) -> int:
             manifest=manifest,
             host=args.host,
             port=args.port,
+            models=args.models,
+            registry=ArtifactRegistry(args.store),
+            batching=not args.no_batching,
+            max_batch_size=args.max_batch,
+            max_wait_ms=args.max_wait_ms,
+            queue_depth=args.queue_depth,
         )
-    except (ValueError, OSError) as error:
+    except (ValueError, CheckpointError, RegistryError, OSError) as error:
         # OSError covers bind failures: port in use, privileged port, ...
         print(f"error: {error}", file=sys.stderr)
         return 2
-    print(
-        f"serving {manifest.model_name} ({manifest.model_class}) on "
-        f"{server.url} [engine={args.engine}, backend="
-        f"{kernel_backend() if args.engine == 'packed' else 'blas'}]"
+    served = ", ".join(
+        f"{row['key']} ({row['artifact']})" for row in server.pool.describe()
     )
-    print("endpoints: POST /predict, GET /healthz, GET /stats, GET /manifest")
+    batching = (
+        f"batching max_batch={args.max_batch} max_wait={args.max_wait_ms}ms "
+        f"queue_depth={args.queue_depth}"
+        if not args.no_batching
+        else "batching disabled"
+    )
+    print(
+        f"serving {served} on {server.url} [engine={args.engine}, backend="
+        f"{kernel_backend() if args.engine == 'packed' else 'blas'}, {batching}]"
+    )
+    print(
+        "endpoints: POST /predict, POST /models/<name>/predict, "
+        "POST /reload, GET /healthz, GET /stats, GET /manifest, GET /models"
+    )
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         print("shutting down")
     finally:
         server.shutdown()
+    return 0
+
+
+def cmd_loadtest(args: argparse.Namespace) -> int:
+    concurrency = args.concurrency
+    duration = args.duration
+    if args.smoke:
+        concurrency = min(concurrency, 8)
+        duration = min(duration, 1.5)
+    try:
+        report = run_load(
+            args.url,
+            num_features=args.num_features,
+            model=args.model,
+            mode=args.mode,
+            concurrency=concurrency,
+            duration_seconds=duration,
+            batch_size=args.batch,
+            rate=args.rate,
+            deadline_ms=args.deadline_ms,
+            seed=args.seed,
+        )
+    except (ValueError, RuntimeError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    row = report.as_dict()
+    errors_by_status = row.pop("errors_by_status")
+    print(
+        format_table(
+            [row], float_format="{:.2f}", title=f"Load test against {args.url}"
+        )
+    )
+    if errors_by_status:
+        shed = ", ".join(
+            f"{count}x HTTP {status}" for status, count in errors_by_status.items()
+        )
+        print(f"non-200 responses: {shed}")
+    if args.fail_on_error and report.errors:
+        print(
+            f"error: {report.errors}/{report.requests} requests failed",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -883,6 +1035,7 @@ COMMANDS = {
     "train": cmd_train,
     "predict": cmd_predict,
     "serve": cmd_serve,
+    "loadtest": cmd_loadtest,
     "models": cmd_models,
     "map": cmd_map,
     "sweep": cmd_sweep,

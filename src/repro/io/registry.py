@@ -36,6 +36,7 @@ from repro.io.checkpoint import (
     read_manifest,
     save_checkpoint,
     load_checkpoint,
+    load_checkpoint_with_manifest,
 )
 
 #: Environment variable overriding the default store location.
@@ -289,6 +290,21 @@ class ArtifactRegistry:
     def load(self, spec: str, strict: bool = True):
         """Resolve and load an artifact back into a fitted model."""
         return load_checkpoint(self.resolve(spec), strict=strict)
+
+    def load_with_manifest(self, spec: str, strict: bool = True):
+        """Resolve and load an artifact, also returning its provenance.
+
+        Returns
+        -------
+        tuple
+            ``(model, manifest, resolved_spec)`` where ``resolved_spec``
+            is the exact ``name:tag`` the spec resolved to (``latest``
+            pinned to the concrete newest tag).  This is the loader the
+            multi-model serving pool uses for cold starts and hot swaps.
+        """
+        path = self.resolve(spec)
+        model, manifest = load_checkpoint_with_manifest(path, strict=strict)
+        return model, manifest, f"{path.parent.name}:{path.stem}"
 
     def inspect(self, spec: str) -> CheckpointManifest:
         """Resolve an artifact and return its manifest (no model build)."""

@@ -1,28 +1,70 @@
-"""Serving runtime: batched inference pipelines and the serve daemon.
+"""Serving runtime: batched pipelines, micro-batching daemon, load testing.
 
 The :mod:`repro.runtime` package turns the trained models of
 :mod:`repro.core` and :mod:`repro.baselines` into a deployable serving
-path: :class:`InferencePipeline` chunks arbitrarily large query batches,
-keeps encoder/AM state warm across chunks, optionally shards chunks
-across a thread pool, and reports throughput statistics;
-:class:`ModelServer` keeps a checkpointed model resident behind a
-stdlib-only JSON-over-HTTP daemon (``repro serve``) so production-style
-traffic is answered by a warm model instead of a retrain.  Combined with
-the bit-packed similarity engine (:mod:`repro.hdc.packed`) this is the
-"runs as fast as the hardware allows" deployment story of the roadmap.
+path, layered bottom-up:
+
+* :class:`InferencePipeline` -- chunks arbitrarily large query batches,
+  keeps encoder/AM state warm, optionally shards chunks across a thread
+  pool, and reports throughput statistics;
+* :class:`BatchScheduler` -- coalesces concurrent requests into
+  micro-batches behind a bounded queue with deadline/backpressure
+  admission control, fanning results back out through futures;
+* :class:`ModelPool` / :class:`ServedModel` -- hosts multiple
+  registry-addressed models concurrently with per-model stats and atomic
+  zero-downtime hot-swap;
+* :class:`ModelServer` -- the ``repro serve`` stdlib-HTTP daemon over a
+  pool (``/predict``, ``/models/<name>/predict``, ``/reload``,
+  ``/healthz``, ``/stats``, ``/manifest``);
+* :func:`run_load` / :class:`LoadReport` -- the ``repro loadtest``
+  open/closed-loop load generator reporting QPS and p50/p95/p99 latency.
+
+Combined with the bit-packed similarity engine (:mod:`repro.hdc.packed`)
+this is the "serves heavy traffic, as fast as the hardware allows"
+deployment story of the roadmap -- and every layer preserves predictions
+bit-exactly.
 """
 
+from repro.runtime.loadtest import LoadReport, run_load
 from repro.runtime.pipeline import (
     InferencePipeline,
     PipelineResult,
     PipelineStats,
 )
+from repro.runtime.pool import (
+    ModelPool,
+    ModelStats,
+    PoolError,
+    ServedModel,
+    UnknownModelError,
+)
+from repro.runtime.scheduler import (
+    BatchScheduler,
+    DeadlineExceededError,
+    QueueFullError,
+    SchedulerClosedError,
+    SchedulerError,
+    SchedulerStats,
+)
 from repro.runtime.server import ModelServer, ServerStats
 
 __all__ = [
+    "BatchScheduler",
+    "DeadlineExceededError",
     "InferencePipeline",
+    "LoadReport",
+    "ModelPool",
+    "ModelServer",
+    "ModelStats",
     "PipelineResult",
     "PipelineStats",
-    "ModelServer",
+    "PoolError",
+    "QueueFullError",
+    "run_load",
+    "SchedulerClosedError",
+    "SchedulerError",
+    "SchedulerStats",
+    "ServedModel",
     "ServerStats",
+    "UnknownModelError",
 ]

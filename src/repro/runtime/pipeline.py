@@ -25,6 +25,7 @@ invariant pinned by ``tests/test_runtime_pipeline.py``.
 from __future__ import annotations
 
 import inspect
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -164,21 +165,28 @@ class InferencePipeline:
                 "keyword; the packed engine is unavailable for this model"
             )
         self._warm = False
+        self._warmup_lock = threading.Lock()
 
     # ------------------------------------------------------------------ API
     def warmup(self) -> None:
         """Build engine state (packed AM, encoder caches) ahead of serving.
 
-        Called automatically by :meth:`run` / :meth:`predict`; idempotent.
-        Models without a ``prepare_engine`` hook are warmed implicitly by
-        their first chunk instead.
+        Called automatically by :meth:`run` / :meth:`predict`; idempotent
+        and thread-safe (the serving runtime's scheduler and handler
+        threads may race to warm a freshly loaded model, and
+        ``prepare_engine`` must not run twice concurrently while it
+        builds packed state).  Models without a ``prepare_engine`` hook
+        are warmed implicitly by their first chunk instead.
         """
         if self._warm:
             return
-        prepare = getattr(self.model, "prepare_engine", None)
-        if callable(prepare):
-            prepare(self.engine)
-        self._warm = True
+        with self._warmup_lock:
+            if self._warm:
+                return
+            prepare = getattr(self.model, "prepare_engine", None)
+            if callable(prepare):
+                prepare(self.engine)
+            self._warm = True
 
     def predict(self, features: np.ndarray) -> np.ndarray:
         """Chunked prediction; labels identical to ``model.predict``."""

@@ -1,110 +1,164 @@
-"""Long-lived model-serving daemon (``repro serve``).
+"""Multi-model micro-batching serving daemon (``repro serve``, runtime v2).
 
-Every ``repro predict`` invocation used to pay the full training cost
-before answering a single query.  This module pairs the checkpoint
-subsystem (:mod:`repro.io`) with the batched
-:class:`repro.runtime.pipeline.InferencePipeline` to keep a **warm,
-resident model** behind a plain-HTTP JSON API, so throughput numbers come
-from serving, not retraining:
+The PR 2 daemon kept one warm model behind a threaded HTTP loop and ran
+one unbatched ``pipeline.predict`` per request.  Runtime v2 keeps the
+stdlib-only transport but rebuilds everything behind it around two new
+pieces:
 
-* **stdlib only** -- the daemon is ``http.server.ThreadingHTTPServer``
-  underneath; there is nothing to install on a serving host beyond this
-  package;
-* **warm pipeline** -- the checkpointed model is loaded once, the packed
-  associative memory and encoder state are built up front
-  (:meth:`InferencePipeline.warmup`), and every request is served by the
-  selected similarity engine;
-* **threaded** -- each connection is handled on its own thread; the numpy
-  and popcount kernels release the GIL, so concurrent clients scale on
-  multi-core hosts.
+* :class:`repro.runtime.pool.ModelPool` -- any number of
+  registry-addressed models served concurrently, routed by URL path
+  (``POST /models/<name>/predict``) or JSON ``model`` field, each
+  hot-swappable via ``POST /reload`` with zero downtime and no torn
+  responses;
+* :class:`repro.runtime.scheduler.BatchScheduler` -- concurrent requests
+  are coalesced into micro-batches (``max_batch_size`` rows or
+  ``max_wait_ms``, whichever first) and served by **one** pipeline call,
+  with results fanned back out per request.  Batching never changes
+  predictions (row-wise independence, pinned by the tests).
+
+Admission control maps scheduler failures to HTTP status codes:
+
+=====================================  ======  =========================
+Condition                              Status  Notes
+=====================================  ======  =========================
+unknown model key                      404     lists the served keys
+bounded queue full                     429     ``Retry-After`` header
+request deadline lapsed while queued   503     set ``deadline_ms`` in body
+scheduler closed / dispatch timeout    503     server shutting down
+malformed body / features / reload     400
+=====================================  ======  =========================
 
 Endpoints (all JSON):
 
 ``GET /healthz``
-    Liveness: model family, engine, uptime.
+    Liveness: default model + engine, per-model routing table, uptime.
 ``GET /stats``
-    Serving counters: requests, queries, errors, wall time in ``predict``,
-    end-to-end queries/second.
-``GET /manifest``
-    The loaded checkpoint's manifest (empty object when the server was
-    built around an in-process model).
-``POST /predict``
-    Body ``{"features": [[...], ...]}`` (one row per query); responds
-    ``{"labels": [...], "count": n, "elapsed_ms": t}``.
+    Server-level counters (errors broken down by status; error responses
+    never contribute to ``queries_per_second``), total queue depth, and
+    per-model counters including the scheduler's batch-size histogram.
+``GET /manifest`` / ``GET /models/<name>/manifest``
+    The checkpoint manifest of the default / named model.
+``GET /models``
+    The routing table (one row per served model version).
+``POST /predict`` / ``POST /models/<name>/predict``
+    Body ``{"features": [[...], ...]}`` plus optional ``"model"`` and
+    ``"deadline_ms"`` fields; responds with labels, count, timing and the
+    exact model version that served the request.
+``POST /reload``
+    Body ``{"model": name?, "spec": "name[:tag]"?}``; atomically hot-swaps
+    one model from the artifact registry.
 
-Typical use::
+Typical single-model use (unchanged from PR 2)::
 
     server = ModelServer(model, engine="packed", port=0)
-    server.start()                      # background thread, ephemeral port
+    server.start()
     ... requests against server.url ...
     server.shutdown()
 
-or, blocking (what ``repro serve`` does)::
+Multi-model use (what ``repro serve --models a b:v3`` does)::
 
-    ModelServer(model, port=8000).serve_forever()
+    ModelServer(models=["a", "b:v3"], registry=registry, port=8000).serve_forever()
 """
 
 from __future__ import annotations
 
 import json
+import math
 import threading
 import time
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.runtime.pipeline import InferencePipeline
+from repro.runtime.pool import (
+    ModelPool,
+    ModelStats,
+    PoolError,
+    ServedModel,
+    UnknownModelError,
+)
+from repro.runtime.scheduler import (
+    DeadlineExceededError,
+    QueueFullError,
+    SchedulerClosedError,
+)
 
 #: Largest accepted ``/predict`` request body.  Generous for feature
 #: batches (a 1024 x 784 float batch serializes to ~20 MB of JSON) while
 #: bounding what one request can make a handler thread buffer.
 MAX_REQUEST_BYTES = 256 * 1024 * 1024
 
+#: Upper bound on how long a handler thread waits for its future before
+#: giving up with a 503; keeps a wedged dispatcher from hanging clients
+#: (and the test suite) forever.
+DISPATCH_TIMEOUT_S = 120.0
 
-class ServerStats:
-    """Thread-safe serving counters exposed on ``GET /stats``."""
+
+class ServerStats(ModelStats):
+    """Server-level counters exposed on ``GET /stats``.
+
+    Extends the per-model :class:`~repro.runtime.pool.ModelStats` with
+    uptime.  Error responses are counted per status code and contribute
+    neither queries nor predict seconds, so ``queries_per_second`` always
+    measures successfully served work -- the PR 2 stats let an error-heavy
+    workload report the same throughput as a healthy one, which the
+    schema regression test now pins against.
+    """
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        super().__init__()
         self.started_unix = time.time()
-        self.requests = 0
-        self.queries = 0
-        self.errors = 0
-        self.predict_seconds = 0.0
-
-    def record_predict(self, queries: int, seconds: float) -> None:
-        """Account one successful ``/predict`` call."""
-        with self._lock:
-            self.requests += 1
-            self.queries += int(queries)
-            self.predict_seconds += float(seconds)
-
-    def record_error(self) -> None:
-        """Account one failed request (bad payload, unknown route, ...)."""
-        with self._lock:
-            self.requests += 1
-            self.errors += 1
 
     def as_dict(self) -> Dict[str, Any]:
-        """Snapshot of the counters (plus derived throughput)."""
-        with self._lock:
-            predict_seconds = self.predict_seconds
-            queries = self.queries
-            return {
-                "uptime_s": time.time() - self.started_unix,
-                "requests": self.requests,
-                "queries": queries,
-                "errors": self.errors,
-                "predict_s": predict_seconds,
-                "queries_per_second": (
-                    queries / predict_seconds if predict_seconds > 0 else 0.0
-                ),
-            }
+        payload = super().as_dict()
+        payload["uptime_s"] = time.time() - self.started_unix
+        return payload
+
+
+class ServerError(Exception):
+    """A request failed with a definite HTTP status (raised by the service
+    layer, mapped to a response by the handler)."""
+
+    def __init__(
+        self, status: int, message: str, headers: Optional[Dict[str, str]] = None
+    ) -> None:
+        super().__init__(message)
+        self.status = int(status)
+        self.headers = dict(headers or {})
+
+
+class _ServingHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer tuned for many concurrent keep-alive clients.
+
+    The stdlib default listen backlog of 5 overflows the accept queue the
+    moment a few dozen loadtest workers connect at once, surfacing as
+    ~1 s SYN-retransmit latency spikes and reset connections; a deeper
+    backlog absorbs the connection storm.
+    """
+
+    daemon_threads = True
+    request_queue_size = 128
 
 
 class _RequestHandler(BaseHTTPRequestHandler):
     """Routes HTTP requests to the owning :class:`ModelServer`."""
+
+    # HTTP/1.1 enables keep-alive: one handler thread per *connection*
+    # instead of per request, so a closed-loop client pays connection
+    # setup (TCP handshake + server thread spawn) once, not per query.
+    # Safe because every response carries an exact Content-Length.
+    protocol_version = "HTTP/1.1"
+
+    # The stdlib handler defaults to an unbuffered writer, turning the
+    # status line and every header into its own send() syscall and tiny
+    # packet; with Nagle on those interact with the peer's delayed ACK
+    # into ~40 ms response stalls on keep-alive connections.  A buffered
+    # writer (flushed once per response by handle_one_request) plus
+    # TCP_NODELAY sends each response as one segment immediately.
+    wbufsize = -1
+    disable_nagle_algorithm = True
 
     # Keep per-request chatter out of stderr; stats carry the signal.
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
@@ -114,111 +168,218 @@ class _RequestHandler(BaseHTTPRequestHandler):
     def _service(self) -> "ModelServer":
         return self.server.service  # type: ignore[attr-defined]
 
-    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+    def _send_json(
+        self,
+        status: int,
+        payload: Dict[str, Any],
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if self.close_connection:
+            # Error paths that leave the request body unread set
+            # close_connection; advertise it so clients don't reuse a
+            # connection the server is about to drop.
+            self.send_header("Connection", "close")
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
-    def _fail(self, status: int, message: str) -> None:
-        self._service.stats.record_error()
-        self._send_json(status, {"error": message})
+    def _fail(
+        self,
+        status: int,
+        message: str,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        self._service.stats.record_error(status)
+        self._send_json(status, {"error": message}, headers=headers)
+
+    @staticmethod
+    def _model_route(path: str) -> Tuple[Optional[str], str]:
+        """Split ``/models/<key>/<action>`` into ``(key, "/<action>")``.
+
+        Any other path is returned unchanged as ``(None, path)``.
+        """
+        parts = path.split("/")
+        if len(parts) == 4 and parts[0] == "" and parts[1] == "models" and parts[2]:
+            return parts[2], "/" + parts[3]
+        return None, path
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
         service = self._service
-        if self.path == "/healthz":
+        key, path = self._model_route(self.path)
+        if path == "/healthz" and key is None:
             self._send_json(200, service.health())
-        elif self.path == "/stats":
-            self._send_json(200, service.stats.as_dict())
-        elif self.path == "/manifest":
-            self._send_json(200, service.manifest_dict())
-        elif self.path == "/predict":
+        elif path == "/stats" and key is None:
+            self._send_json(200, service.stats_dict())
+        elif self.path == "/models":
+            self._send_json(200, {"models": service.pool.describe()})
+        elif path == "/manifest":
+            try:
+                entry = service.pool.get(key)
+            except UnknownModelError as error:
+                self._fail(404, str(error))
+                return
+            self._send_json(200, entry.manifest_dict())
+        elif path == "/predict":
             self._fail(405, "use POST for /predict")
         else:
             self._fail(404, f"unknown path {self.path!r}")
 
-    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
-        if self.path != "/predict":
-            self._fail(404, f"unknown path {self.path!r}")
-            return
+    def _read_json_body(self) -> Optional[Dict[str, Any]]:
+        """Read and decode the request body; ``None`` after a sent error.
+
+        Every error path that leaves body bytes unread must also drop the
+        keep-alive connection (``close_connection``): otherwise the next
+        ``handle_one_request`` would parse the leftover body as a request
+        line and poison every subsequent request on the connection.
+        """
         try:
             length = int(self.headers.get("Content-Length", "0"))
         except ValueError:
+            self.close_connection = True
             self._fail(400, "invalid Content-Length")
-            return
+            return None
         if length < 0:
             # rfile.read(-1) would block until client EOF, hanging the
             # handler thread on a silent keep-alive connection.
+            self.close_connection = True
             self._fail(400, "invalid Content-Length")
-            return
+            return None
         if length > MAX_REQUEST_BYTES:
+            self.close_connection = True
             self._fail(413, f"request body exceeds {MAX_REQUEST_BYTES} bytes")
-            return
+            return None
         try:
             payload = json.loads(self.rfile.read(length).decode("utf-8"))
         except (json.JSONDecodeError, UnicodeDecodeError) as error:
             self._fail(400, f"request body is not valid JSON: {error}")
+            return None
+        if not isinstance(payload, dict):
+            self._fail(400, "request body must be a JSON object")
+            return None
+        return payload
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        key, path = self._model_route(self.path)
+        if path not in ("/predict", "/reload") or (path == "/reload" and key):
+            # The body was never read; keeping the connection alive would
+            # desync the next request against the leftover bytes.
+            self.close_connection = True
+            self._fail(404, f"unknown path {self.path!r}")
             return
-        if not isinstance(payload, dict) or "features" not in payload:
-            self._fail(400, 'request body must be {"features": [[...], ...]}')
+        payload = self._read_json_body()
+        if payload is None:
             return
         try:
-            response = self._service.predict_payload(payload["features"])
-        except ValueError as error:
-            self._fail(400, str(error))
+            if path == "/reload":
+                response = self._service.reload_payload(payload)
+            else:
+                response = self._service.predict_request(payload, key=key)
+        except ServerError as error:
+            self._fail(error.status, str(error), headers=error.headers)
             return
         self._send_json(200, response)
 
 
 class ModelServer:
-    """A warm, resident model behind a threaded JSON-over-HTTP daemon.
+    """A pool of warm models behind a threaded JSON-over-HTTP daemon.
+
+    The PR 2 single-model construction still works unchanged::
+
+        ModelServer(model, engine="packed", port=0)
+
+    and additionally the pool can be populated from the artifact registry
+    (``models=["a", "b:v3"]``) with micro-batching, admission control and
+    hot-swap on top.
 
     Parameters
     ----------
     model:
-        A fitted classifier (typically restored via
-        :func:`repro.io.checkpoint.load_checkpoint`).
-    engine:
-        Similarity engine for every served chunk (``"float"`` or
-        ``"packed"``; packed requires a model wired for it).
-    chunk_size / workers:
-        Forwarded to :class:`InferencePipeline` (chunking bound and
-        thread-pool width per request batch).
+        Optional fitted classifier hosted in-process (the PR 2 path).
+    engine / chunk_size / workers:
+        Per-model :class:`~repro.runtime.pipeline.InferencePipeline`
+        settings (``workers`` shards chunks *within* one micro-batch).
     manifest:
-        Optional :class:`repro.io.checkpoint.CheckpointManifest` (or dict)
-        exposed verbatim on ``GET /manifest``.
+        Manifest for the in-process ``model`` (shown on ``/manifest``).
     host / port:
-        Bind address.  ``port=0`` picks an ephemeral port (see
-        :attr:`port` after construction) -- what the tests and examples
-        use to avoid collisions.
+        Bind address; ``port=0`` picks an ephemeral port.
+    models:
+        Registry specs (``name[:tag]``) to serve, routed by name.
+    registry:
+        :class:`repro.io.registry.ArtifactRegistry` backing ``models`` and
+        ``POST /reload``.
+    batching:
+        ``False`` restores the PR 2 behaviour (one direct pipeline call
+        per request, no queue) -- the serving benchmark's baseline.
+    max_batch_size / max_wait_ms / queue_depth:
+        Micro-batching and backpressure knobs, per model (see
+        :class:`~repro.runtime.scheduler.BatchScheduler`).
+    model_key:
+        Routing key for the in-process ``model`` (default ``"default"``).
 
-    The constructor fully warms the pipeline, so the first request pays no
-    lazy-initialization cost.
+    The constructor fully warms every pipeline, so the first request pays
+    no lazy-initialization cost.
     """
 
     def __init__(
         self,
-        model,
+        model=None,
         engine: str = "float",
         chunk_size: int = 1024,
         workers: int = 1,
         manifest=None,
         host: str = "127.0.0.1",
         port: int = 0,
+        models: Optional[Sequence[str]] = None,
+        registry=None,
+        batching: bool = True,
+        max_batch_size: int = 64,
+        max_wait_ms: float = 2.0,
+        queue_depth: int = 128,
+        model_key: str = "default",
     ) -> None:
-        self.model = model
-        self.manifest = manifest
-        self.pipeline = InferencePipeline(
-            model, engine=engine, chunk_size=chunk_size, workers=workers
+        if model is None and not models:
+            raise ValueError("provide an in-process model and/or registry specs")
+        if models and registry is None:
+            raise ValueError("serving registry specs requires a registry")
+        self.pool = ModelPool(
+            registry=registry,
+            engine=engine,
+            chunk_size=chunk_size,
+            workers=workers,
+            batching=batching,
+            max_batch_size=max_batch_size,
+            max_wait_ms=max_wait_ms,
+            queue_depth=queue_depth,
         )
-        self.pipeline.warmup()
+        if model is not None:
+            self.pool.add_model(model_key, model, manifest=manifest)
+        for spec in models or ():
+            self.pool.add_spec(spec)
         self.stats = ServerStats()
-        self._httpd = ThreadingHTTPServer((host, port), _RequestHandler)
+        self._httpd = _ServingHTTPServer((host, port), _RequestHandler)
         self._httpd.service = self  # type: ignore[attr-defined]
         self._thread: Optional[threading.Thread] = None
         self._serving = False
+
+    # ---------------------------------------------------------- compat props
+    @property
+    def model(self):
+        """The default entry's model (PR 2 single-model compatibility)."""
+        return self.pool.get().model
+
+    @property
+    def pipeline(self):
+        """The default entry's pipeline (PR 2 single-model compatibility)."""
+        return self.pool.get().pipeline
+
+    @property
+    def manifest(self):
+        return self.pool.get().manifest
 
     # ----------------------------------------------------------- addressing
     @property
@@ -257,15 +418,19 @@ class ModelServer:
         return self
 
     def shutdown(self) -> None:
-        """Stop serving and release the socket (safe to call twice).
+        """Stop serving, drain the schedulers, release the socket.
 
-        ``BaseServer.shutdown`` blocks until ``serve_forever`` acknowledges,
-        which would deadlock when the loop never ran, so it is only issued
-        while a serving thread is (or may be about to start) running.
+        Safe to call twice.  ``BaseServer.shutdown`` blocks until
+        ``serve_forever`` acknowledges, which would deadlock when the loop
+        never ran, so it is only issued while a serving thread is (or may
+        be about to start) running.  The pool drains *after* the HTTP loop
+        stops accepting, so every admitted request still gets its answer
+        (no hung futures) while new connections are refused.
         """
         if self._serving or (self._thread is not None and self._thread.is_alive()):
             self._httpd.shutdown()
         self._httpd.server_close()
+        self.pool.close(drain=True)
         if self._thread is not None:
             self._thread.join(timeout=5.0)
             self._thread = None
@@ -279,30 +444,32 @@ class ModelServer:
     # -------------------------------------------------------------- handlers
     def health(self) -> Dict[str, Any]:
         """Payload of ``GET /healthz``."""
+        entry = self.pool.get()
         return {
             "status": "ok",
-            "model": getattr(self.model, "name", type(self.model).__name__),
-            "engine": self.pipeline.engine,
+            "model": getattr(entry.model, "name", type(entry.model).__name__),
+            "engine": entry.pipeline.engine,
+            "num_features": entry.num_features,
+            "batching": self.pool.batching,
+            "models": self.pool.describe(),
             "uptime_s": time.time() - self.stats.started_unix,
         }
 
+    def stats_dict(self) -> Dict[str, Any]:
+        """Payload of ``GET /stats``: server counters + per-model nesting."""
+        payload = self.stats.as_dict()
+        payload["queue_depth"] = self.pool.total_queue_size()
+        payload["batching"] = self.pool.batching
+        payload["models"] = self.pool.stats_dict()
+        return payload
+
     def manifest_dict(self) -> Dict[str, Any]:
-        """Payload of ``GET /manifest``."""
-        if self.manifest is None:
-            return {}
-        if isinstance(self.manifest, dict):
-            return self.manifest
-        return json.loads(self.manifest.to_json())
+        """Payload of ``GET /manifest`` (default model)."""
+        return self.pool.get().manifest_dict()
 
-    def predict_payload(self, features) -> Dict[str, Any]:
-        """Serve one ``/predict`` request body (already JSON-decoded).
-
-        Raises
-        ------
-        ValueError
-            When ``features`` is not interpretable as a non-empty
-            ``(n, f)`` numeric batch (mapped to HTTP 400 by the handler).
-        """
+    # ------------------------------------------------------------ predicting
+    @staticmethod
+    def _as_feature_batch(features) -> np.ndarray:
         try:
             batch = np.asarray(features, dtype=np.float64)
         except (TypeError, ValueError) as error:
@@ -314,18 +481,134 @@ class ModelServer:
                 f"features must be a non-empty (n, f) batch, got shape "
                 f"{batch.shape}"
             )
+        return batch
+
+    def predict_request(
+        self, payload: Dict[str, Any], key: Optional[str] = None
+    ) -> Dict[str, Any]:
+        """Serve one decoded ``/predict`` body, mapping failures to HTTP.
+
+        ``key`` (from the URL path) outranks the body's ``model`` field.
+
+        Raises
+        ------
+        ServerError
+            With the definite status code and headers for the response.
+        """
+        if "features" not in payload:
+            raise ServerError(400, 'request body must be {"features": [[...], ...]}')
+        body_key = payload.get("model")
+        if body_key is not None and not isinstance(body_key, str):
+            raise ServerError(400, '"model" must be a string routing key')
+        deadline_ms = payload.get("deadline_ms")
+        if deadline_ms is not None and (
+            not isinstance(deadline_ms, (int, float)) or deadline_ms <= 0
+        ):
+            raise ServerError(400, '"deadline_ms" must be a positive number')
+        try:
+            entry = self.pool.get(key if key is not None else body_key)
+        except UnknownModelError as error:
+            raise ServerError(404, str(error)) from error
+        try:
+            return self.predict_payload(
+                payload["features"], entry=entry, deadline_ms=deadline_ms
+            )
+        except QueueFullError as error:
+            retry_after = str(max(1, math.ceil(error.retry_after_s)))
+            entry.stats.record_error(429)
+            raise ServerError(
+                429, str(error), headers={"Retry-After": retry_after}
+            ) from error
+        except DeadlineExceededError as error:
+            entry.stats.record_error(503)
+            raise ServerError(503, str(error)) from error
+        except (SchedulerClosedError, FutureTimeoutError) as error:
+            entry.stats.record_error(503)
+            raise ServerError(503, f"server is shutting down: {error}") from error
+        except ValueError as error:
+            entry.stats.record_error(400)
+            raise ServerError(400, str(error)) from error
+        except Exception as error:  # dispatch failure: report, don't crash
+            entry.stats.record_error(500)
+            raise ServerError(500, f"prediction failed: {error}") from error
+
+    def predict_payload(
+        self,
+        features,
+        entry: Optional[ServedModel] = None,
+        deadline_ms: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Serve one feature payload against one resolved model version.
+
+        The ``entry`` snapshot is resolved once (default model when
+        omitted) and used for the whole request, so the response is
+        wholly produced by a single version even across a concurrent
+        ``/reload``.  Successful calls are the **only** thing recorded
+        into ``queries_per_second`` -- failures raise before any
+        accounting happens (the PR 2 version's error/latency skew fix).
+
+        Raises
+        ------
+        ValueError
+            When ``features`` is not a non-empty ``(n, f)`` numeric batch.
+        repro.runtime.scheduler.SchedulerError
+            Queue-full / deadline / closed admission failures.
+        """
+        if entry is None:
+            entry = self.pool.get()
+        batch = self._as_feature_batch(features)
+        expected_width = entry.num_features
+        if expected_width is not None and batch.shape[1] != expected_width:
+            # Reject at admission: coalesced into a micro-batch, a
+            # wrong-width request would fail its batchmates too.
+            raise ValueError(
+                f"features have {batch.shape[1]} columns but model "
+                f"{entry.key!r} expects {expected_width}"
+            )
         start = time.perf_counter()
-        labels = self.pipeline.predict(batch)
+        labels = entry.predict(
+            batch, deadline_ms=deadline_ms, timeout=DISPATCH_TIMEOUT_S
+        )
         elapsed = time.perf_counter() - start
         self.stats.record_predict(batch.shape[0], elapsed)
+        entry.stats.record_predict(batch.shape[0], elapsed)
         return {
             "labels": [int(label) for label in labels],
             "count": int(batch.shape[0]),
             "elapsed_ms": 1000.0 * elapsed,
+            "model": entry.key,
+            "artifact": entry.resolved_spec,
+            "version": entry.version,
         }
+
+    # -------------------------------------------------------------- reloading
+    def reload_payload(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Serve one decoded ``POST /reload`` body.
+
+        Body fields: ``model`` (routing key; default model when omitted)
+        and ``spec`` (registry ``name[:tag]``; the entry's original spec
+        when omitted, so ``latest`` entries re-resolve to the newest tag).
+        """
+        key = payload.get("model")
+        spec = payload.get("spec")
+        if key is not None and not isinstance(key, str):
+            raise ServerError(400, '"model" must be a string routing key')
+        if spec is not None and not isinstance(spec, str):
+            raise ServerError(400, '"spec" must be a registry name[:tag] string')
+        try:
+            entry = self.pool.reload(key, spec=spec)
+        except UnknownModelError as error:
+            raise ServerError(404, str(error)) from error
+        except PoolError as error:
+            raise ServerError(400, str(error)) from error
+        except Exception as error:  # registry/checkpoint failures
+            raise ServerError(400, f"reload failed: {error}") from error
+        response = entry.describe()
+        response["status"] = "reloaded"
+        return response
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"ModelServer(model={type(self.model).__name__}, "
-            f"engine={self.pipeline.engine!r}, url={self.url!r})"
+            f"ModelServer(models={self.pool.keys()}, "
+            f"engine={self.pool.engine!r}, url={self.url!r})"
         )

@@ -78,10 +78,46 @@ class TestParser:
         assert args.host == "127.0.0.1"
         assert args.port == 8000
         assert args.engine == "packed"
+        assert args.max_batch == 64
+        assert args.max_wait_ms == 2.0
+        assert args.queue_depth == 128
+        assert not args.no_batching
 
-    def test_serve_requires_load(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["serve"])
+    def test_serve_multi_model_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--models", "a:latest,b:v3", "--max-batch", "32",
+             "--max-wait-ms", "1.5", "--queue-depth", "16", "--no-batching"]
+        )
+        assert args.models == ["a:latest", "b:v3"]
+        assert args.max_batch == 32
+        assert args.max_wait_ms == 1.5
+        assert args.queue_depth == 16
+        assert args.no_batching
+
+    def test_serve_requires_load_or_models(self, capsys):
+        # Parsing succeeds (either flag satisfies the requirement) but
+        # running with neither is a usage error.
+        args = build_parser().parse_args(["serve"])
+        assert args.load is None and args.models is None
+        assert main(["serve"]) == 2
+        assert "--load" in capsys.readouterr().err
+
+    def test_loadtest_defaults(self):
+        args = build_parser().parse_args(["loadtest"])
+        assert args.command == "loadtest"
+        assert args.mode == "closed"
+        assert args.concurrency == 32
+        assert args.batch == 1
+        assert not args.fail_on_error
+
+    def test_loadtest_unreachable_server_is_an_error(self, capsys):
+        # Port 1 is essentially never listening; the command must fail
+        # cleanly (exit 2) rather than traceback.
+        assert main(
+            ["loadtest", "--url", "http://127.0.0.1:1", "--duration", "0.2",
+             "--concurrency", "1"]
+        ) == 2
+        assert "error:" in capsys.readouterr().err
 
     def test_models_subcommands(self):
         args = build_parser().parse_args(["models", "list"])

@@ -1,0 +1,201 @@
+"""Tests for the multi-model ModelPool: routing, stats, hot-swap."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import MEMHDConfig
+from repro.core.model import MEMHDModel
+from repro.io.registry import ArtifactRegistry
+from repro.runtime.pool import (
+    IN_PROCESS_SPEC,
+    ModelPool,
+    ModelStats,
+    PoolError,
+    UnknownModelError,
+)
+
+
+def _train(dataset, seed: int) -> MEMHDModel:
+    model = MEMHDModel(
+        dataset.num_features,
+        dataset.num_classes,
+        MEMHDConfig(dimension=48, columns=16, epochs=2, seed=seed),
+        rng=seed,
+    )
+    model.fit(dataset.train_features, dataset.train_labels)
+    return model
+
+
+@pytest.fixture(scope="module")
+def registry(tmp_path_factory, tiny_dataset):
+    """A registry holding two versions of 'demo' plus an 'alt' model."""
+    store = ArtifactRegistry(tmp_path_factory.mktemp("pool-store"))
+    store.save(_train(tiny_dataset, seed=1), "demo", tag="v1")
+    store.save(_train(tiny_dataset, seed=2), "demo", tag="v2")
+    store.save(_train(tiny_dataset, seed=3), "alt", tag="v1")
+    return store
+
+
+class TestRouting:
+    def test_default_is_first_added(self, trained_memhd):
+        model, _ = trained_memhd
+        with ModelPool() as pool:
+            pool.add_model("first", model)
+            pool.add_model("second", model)
+            assert pool.default_key == "first"
+            assert pool.get().key == "first"
+            assert pool.get("second").key == "second"
+            assert pool.keys() == ["first", "second"]
+
+    def test_unknown_key_raises(self, trained_memhd):
+        model, _ = trained_memhd
+        with ModelPool() as pool:
+            pool.add_model("only", model)
+            with pytest.raises(UnknownModelError, match="'nope'"):
+                pool.get("nope")
+
+    def test_empty_pool_has_no_default(self):
+        with ModelPool() as pool:
+            with pytest.raises(UnknownModelError):
+                pool.get()
+
+    def test_add_spec_routes_by_artifact_name(self, registry):
+        with ModelPool(registry=registry) as pool:
+            entry = pool.add_spec("demo:v1")
+            assert entry.key == "demo"
+            assert entry.spec == "demo:v1"
+            assert entry.resolved_spec == "demo:v1"
+
+    def test_latest_spec_resolves_to_concrete_tag(self, registry):
+        with ModelPool(registry=registry) as pool:
+            entry = pool.add_spec("demo")
+            assert entry.spec == "demo"
+            assert entry.resolved_spec == "demo:v2"
+
+    def test_add_spec_without_registry_raises(self, trained_memhd):
+        with ModelPool() as pool:
+            with pytest.raises(PoolError, match="registry"):
+                pool.add_spec("demo:v1")
+
+
+class TestServing:
+    def test_entry_predictions_match_direct_model(self, registry, tiny_dataset):
+        with ModelPool(registry=registry, engine="packed") as pool:
+            entry = pool.add_spec("demo:v1")
+            batch = tiny_dataset.test_features[:10]
+            served = entry.predict(batch)
+            expected = registry.load("demo:v1").predict(batch, engine="packed")
+            assert np.array_equal(served, expected)
+
+    def test_batching_disabled_serves_directly(self, trained_memhd, tiny_dataset):
+        model, _ = trained_memhd
+        with ModelPool(batching=False) as pool:
+            entry = pool.add_model("direct", model)
+            assert entry.scheduler is None
+            batch = tiny_dataset.test_features[:5]
+            assert np.array_equal(entry.predict(batch), model.predict(batch))
+            assert pool.total_queue_size() == 0
+
+    def test_stats_dict_nests_per_model(self, trained_memhd, tiny_dataset):
+        model, _ = trained_memhd
+        with ModelPool() as pool:
+            entry = pool.add_model("m", model)
+            entry.predict(tiny_dataset.test_features[:4])
+            entry.stats.record_predict(4, 0.1)
+            stats = pool.stats_dict()
+            assert set(stats) == {"m"}
+            assert stats["m"]["queries"] == 4
+            assert stats["m"]["scheduler"]["queries"] == 4
+            assert stats["m"]["version"] == 1
+
+
+class TestHotSwap:
+    def test_reload_pinned_tag_bumps_version_only(self, registry):
+        with ModelPool(registry=registry) as pool:
+            first = pool.add_spec("demo:v1")
+            second = pool.reload("demo")
+            assert second.resolved_spec == "demo:v1"
+            assert second.version == first.version + 1
+            assert pool.get("demo") is second
+
+    def test_reload_latest_picks_up_new_tags(self, registry, tiny_dataset):
+        with ModelPool(registry=registry) as pool:
+            entry = pool.add_spec("demo")
+            assert entry.resolved_spec == "demo:v2"
+            registry.save(_train(tiny_dataset, seed=9), "demo", tag="v3")
+            try:
+                swapped = pool.reload("demo")
+                assert swapped.resolved_spec == "demo:v3"
+                assert swapped.version == 2
+            finally:
+                registry.remove("demo:v3")
+
+    def test_reload_explicit_spec_and_old_scheduler_drained(self, registry):
+        with ModelPool(registry=registry) as pool:
+            old = pool.add_spec("demo:v1")
+            new = pool.reload("demo", spec="demo:v2")
+            assert new.resolved_spec == "demo:v2"
+            assert old.scheduler.closed
+            assert not new.scheduler.closed
+
+    def test_reload_defaults_to_default_model(self, registry):
+        with ModelPool(registry=registry) as pool:
+            pool.add_spec("demo:v1")
+            pool.add_spec("alt:v1")
+            assert pool.reload().key == "demo"
+
+    def test_reload_in_process_model_needs_spec(self, registry, trained_memhd):
+        model, _ = trained_memhd
+        with ModelPool(registry=registry) as pool:
+            pool.add_model("live", model)
+            with pytest.raises(PoolError, match="in-process"):
+                pool.reload("live")
+            swapped = pool.reload("live", spec="demo:v1")
+            assert swapped.resolved_spec == "demo:v1"
+            assert swapped.spec == "demo:v1"
+            assert swapped.key == "live"
+
+    def test_in_process_spec_marker(self, trained_memhd):
+        model, _ = trained_memhd
+        with ModelPool() as pool:
+            assert pool.add_model("m", model).spec == IN_PROCESS_SPEC
+
+
+class TestLifecycle:
+    def test_close_is_idempotent_and_blocks_adds(self, trained_memhd):
+        model, _ = trained_memhd
+        pool = ModelPool()
+        pool.add_model("m", model)
+        pool.close()
+        pool.close()
+        with pytest.raises(PoolError, match="closed"):
+            pool.add_model("late", model)
+
+    def test_closed_entry_rejects_work(self, trained_memhd, tiny_dataset):
+        from repro.runtime.scheduler import SchedulerClosedError
+
+        model, _ = trained_memhd
+        pool = ModelPool()
+        entry = pool.add_model("m", model)
+        pool.close()
+        with pytest.raises(SchedulerClosedError):
+            entry.predict(tiny_dataset.test_features[:2])
+
+
+class TestModelStats:
+    def test_errors_do_not_skew_queries_per_second(self):
+        """The serving-v2 regression fix: error responses contribute
+        neither queries nor predict time, so throughput stays truthful."""
+        stats = ModelStats()
+        stats.record_predict(100, 0.5)
+        healthy = stats.as_dict()["queries_per_second"]
+        for _ in range(50):
+            stats.record_error(429)
+        snapshot = stats.as_dict()
+        assert snapshot["queries_per_second"] == pytest.approx(healthy)
+        assert snapshot["queries"] == 100
+        assert snapshot["errors"] == 50
+        assert snapshot["errors_by_status"] == {"429": 50}
+        assert snapshot["requests"] == 51

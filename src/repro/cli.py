@@ -27,11 +27,17 @@ subcommands cover the everyday workflows:
     zero-downtime hot-swap (``POST /reload``); answers JSON ``/predict``,
     ``/models/<name>/predict``, ``/healthz``, ``/stats`` and ``/manifest``
     requests over HTTP.  ``--load`` serves a single checkpoint (path or
-    registry spec) exactly as before.
+    registry spec) exactly as before.  ``--workers N`` scales out to N
+    prefork worker processes over one shared listening socket and
+    memory-mapped (zero-copy) checkpoints, with crash respawn, graceful
+    SIGTERM drain, cluster-aggregated ``/stats`` and fanned-out
+    ``/reload``; see ``docs/operations.md`` for the operator guide.
 
 ``repro loadtest --url http://127.0.0.1:8000 --concurrency 32``
     Open/closed-loop load generator against a live daemon; reports
-    achieved QPS and p50/p95/p99 latency, plus per-status error counts.
+    achieved QPS and p50/p95/p99 latency, plus per-status error counts
+    and (against a ``--workers N`` daemon) per-worker traffic attribution
+    from the aggregated ``/stats`` endpoint.
 
 ``repro models list|show|prune``
     Inspect and garbage-collect the on-disk artifact registry
@@ -63,7 +69,9 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import signal
 import sys
+import threading
 from typing import List, Optional, Sequence
 
 from repro.data.datasets import available_datasets, load_dataset
@@ -98,9 +106,10 @@ from repro.io.checkpoint import (
     save_checkpoint,
 )
 from repro.io.registry import ArtifactRegistry, RegistryError
-from repro.runtime.loadtest import run_load
+from repro.runtime.loadtest import fetch_server_stats, run_load
 from repro.runtime.pipeline import throughput_comparison
 from repro.runtime.server import ModelServer
+from repro.runtime.workers import WorkerConfig, WorkerSupervisor
 
 
 def _int_list(text: str) -> List[int]:
@@ -272,15 +281,49 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--engine", default="packed", choices=("float", "packed"),
-        help="similarity engine used for every request",
+        help="similarity engine used for every request (packed = bit-packed "
+        "kernels, the fast path; float = dense reference)",
     )
     serve.add_argument(
         "--batch-size", type=int, default=1024,
-        help="pipeline chunk size (query rows per chunk)",
+        help="pipeline chunk size (query rows per chunk; default 1024)",
     )
     serve.add_argument(
-        "--workers", type=int, default=1,
-        help="thread-pool width for sharding chunks within a micro-batch",
+        "--workers", type=int, default=1, metavar="N",
+        help="worker PROCESS count (prefork scale-out): N>1 forks N "
+        "independent serving processes over one shared listening socket "
+        "and memory-mapped checkpoints, with crash respawn, aggregated "
+        "/stats and fanned-out /reload; 1 (default) serves in-process",
+    )
+    serve.add_argument(
+        "--pipeline-threads", type=int, default=1, metavar="T",
+        help="thread-pool width for sharding pipeline chunks within one "
+        "micro-batch (per process; default 1)",
+    )
+    serve.add_argument(
+        "--socket-mode", default="auto", choices=("auto", "reuseport", "inherit"),
+        help="how prefork workers share the port: 'reuseport' binds one "
+        "SO_REUSEPORT listener per worker (kernel load-balances), "
+        "'inherit' has workers adopt a single listener forked from the "
+        "parent; 'auto' (default) picks reuseport where available "
+        "(only meaningful with --workers > 1)",
+    )
+    mapped_group = serve.add_mutually_exclusive_group()
+    mapped_group.add_argument(
+        "--mapped", dest="mapped", action="store_true", default=None,
+        help="memory-map registry checkpoints (zero-copy: workers share "
+        "one physical copy of the AM arrays via the OS page cache); "
+        "the default when --workers > 1",
+    )
+    mapped_group.add_argument(
+        "--no-mapped", dest="mapped", action="store_false",
+        help="load registry checkpoints eagerly into private memory "
+        "(the default for a single-process server)",
+    )
+    serve.add_argument(
+        "--drain-timeout", type=float, default=30.0, metavar="S",
+        help="on SIGTERM / worker drain, wait up to this long for "
+        "in-flight requests to finish before closing (default 30)",
     )
     serve.add_argument(
         "--max-batch", type=int, default=64, metavar="ROWS",
@@ -320,7 +363,8 @@ def build_parser() -> argparse.ArgumentParser:
         "requests start on a fixed --rate schedule",
     )
     loadtest.add_argument(
-        "--concurrency", type=int, default=32, help="worker thread count"
+        "--concurrency", type=int, default=32, metavar="N",
+        help="concurrent client threads issuing requests (default 32)",
     )
     loadtest.add_argument(
         "--duration", type=float, default=5.0, metavar="S",
@@ -342,7 +386,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--num-features", type=int, default=None, metavar="F",
         help="payload feature width (discovered from the server when omitted)",
     )
-    loadtest.add_argument("--seed", type=int, default=0, help="payload seed")
+    loadtest.add_argument(
+        "--seed", type=int, default=0,
+        help="RNG seed for the synthetic request payloads (default 0)",
+    )
     loadtest.add_argument(
         "--fail-on-error", action="store_true",
         help="exit non-zero when any request failed (CI smoke gates)",
@@ -895,11 +942,93 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return SWEEP_COMMANDS[args.sweep_command](args)
 
 
+def _batching_summary(args: argparse.Namespace) -> str:
+    """One-line micro-batching description for the serve banner."""
+    if args.no_batching:
+        return "batching disabled"
+    return (
+        f"batching max_batch={args.max_batch} max_wait={args.max_wait_ms}ms "
+        f"queue_depth={args.queue_depth}"
+    )
+
+
+def _on_sigterm(callback) -> None:
+    """Install ``callback`` as the SIGTERM handler (main thread only).
+
+    Signal handlers are process-global and may only be installed from the
+    main thread; tests drive ``cmd_serve`` from helper threads, where this
+    quietly becomes a no-op.
+    """
+    if threading.current_thread() is threading.main_thread():
+        signal.signal(signal.SIGTERM, lambda *_: callback())
+
+
+def _serve_prefork(args: argparse.Namespace, model, manifest, mapped: bool) -> int:
+    """``repro serve --workers N`` (N > 1): run the prefork supervisor."""
+    store = str(ArtifactRegistry(args.store).root) if args.models else None
+    config = WorkerConfig(
+        models=tuple(args.models or ()),
+        store=store,
+        model=model,
+        manifest=manifest,
+        engine=args.engine,
+        chunk_size=args.batch_size,
+        pipeline_threads=args.pipeline_threads,
+        batching=not args.no_batching,
+        max_batch_size=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        queue_depth=args.queue_depth,
+        mapped=mapped,
+        drain_timeout=args.drain_timeout,
+    )
+    try:
+        supervisor = WorkerSupervisor(
+            config,
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            socket_mode=args.socket_mode,
+            drain_timeout=args.drain_timeout,
+        )
+        supervisor.start()
+    except (ValueError, RuntimeError, CheckpointError, RegistryError, OSError) as error:
+        # OSError covers bind failures: port in use, privileged port, ...
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    served = ", ".join(args.models or ()) or args.load
+    print(
+        f"serving {served} on {supervisor.url} [engine={args.engine}, backend="
+        f"{kernel_backend() if args.engine == 'packed' else 'blas'}, "
+        f"workers={args.workers} ({supervisor.socket_mode}), "
+        f"mapped={'on' if mapped else 'off'}, {_batching_summary(args)}]"
+    )
+    print(
+        "endpoints: POST /predict, POST /models/<name>/predict, "
+        "POST /reload, GET /healthz, GET /stats, GET /stats/local, "
+        "GET /manifest, GET /models"
+    )
+    _on_sigterm(supervisor.request_shutdown)
+    try:
+        supervisor.wait()
+        print("shutting down (draining workers)")
+    except KeyboardInterrupt:
+        print("shutting down (draining workers)")
+    finally:
+        supervisor.shutdown(drain=True)
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     if not args.load and not args.models:
         print("error: provide --load CKPT and/or --models SPEC[,SPEC...]",
               file=sys.stderr)
         return 2
+    if args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
+    # Memory-mapped checkpoint loading defaults on exactly when several
+    # processes could share the pages; a lone server keeps the eager loader.
+    mapped = args.mapped if args.mapped is not None else args.workers > 1
     model = manifest = None
     if args.load:
         try:
@@ -907,12 +1036,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
         except (CheckpointError, RegistryError, FileNotFoundError) as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
+    if args.workers > 1:
+        return _serve_prefork(args, model, manifest, mapped)
     try:
         server = ModelServer(
             model,
             engine=args.engine,
             chunk_size=args.batch_size,
-            workers=args.workers,
+            workers=args.pipeline_threads,
             manifest=manifest,
             host=args.host,
             port=args.port,
@@ -922,6 +1053,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             max_batch_size=args.max_batch,
             max_wait_ms=args.max_wait_ms,
             queue_depth=args.queue_depth,
+            mapped=mapped,
         )
     except (ValueError, CheckpointError, RegistryError, OSError) as error:
         # OSError covers bind failures: port in use, privileged port, ...
@@ -930,19 +1062,18 @@ def cmd_serve(args: argparse.Namespace) -> int:
     served = ", ".join(
         f"{row['key']} ({row['artifact']})" for row in server.pool.describe()
     )
-    batching = (
-        f"batching max_batch={args.max_batch} max_wait={args.max_wait_ms}ms "
-        f"queue_depth={args.queue_depth}"
-        if not args.no_batching
-        else "batching disabled"
-    )
     print(
         f"serving {served} on {server.url} [engine={args.engine}, backend="
-        f"{kernel_backend() if args.engine == 'packed' else 'blas'}, {batching}]"
+        f"{kernel_backend() if args.engine == 'packed' else 'blas'}, "
+        f"{_batching_summary(args)}]"
     )
     print(
         "endpoints: POST /predict, POST /models/<name>/predict, "
         "POST /reload, GET /healthz, GET /stats, GET /manifest, GET /models"
+    )
+    # SIGTERM drains like Ctrl-C: stop accepting, answer what's in flight.
+    _on_sigterm(
+        lambda: threading.Thread(target=server.shutdown, daemon=True).start()
     )
     try:
         server.serve_forever()
@@ -951,6 +1082,41 @@ def cmd_serve(args: argparse.Namespace) -> int:
     finally:
         server.shutdown()
     return 0
+
+
+def _print_worker_attribution(url: str) -> None:
+    """After a load test, show how a prefork cluster split the traffic.
+
+    ``GET /stats`` on a ``--workers N`` daemon returns the aggregated
+    cluster view with a per-worker ``workers`` map; a single-process
+    server has no such key and prints nothing.  Stats are advisory, so
+    any failure to fetch them is silently ignored.
+    """
+    try:
+        stats = fetch_server_stats(url)
+    except Exception:
+        return
+    workers = stats.get("workers")
+    if not isinstance(workers, dict) or not workers:
+        return
+    rows = []
+    for worker_id in sorted(workers, key=lambda key: int(key)):
+        snapshot = workers[worker_id]
+        rows.append(
+            {
+                "worker": int(worker_id),
+                "requests": snapshot.get("requests", 0),
+                "queries": snapshot.get("queries", 0),
+                "errors": snapshot.get("errors", 0),
+                "qps": snapshot.get("queries_per_second", 0.0),
+            }
+        )
+    title = (
+        f"Per-worker attribution ({stats.get('workers_alive', len(rows))}/"
+        f"{stats.get('workers_total', len(rows))} workers alive, "
+        f"{stats.get('respawns', 0)} respawns)"
+    )
+    print(format_table(rows, float_format="{:.2f}", title=title))
 
 
 def cmd_loadtest(args: argparse.Namespace) -> int:
@@ -987,6 +1153,7 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
             f"{count}x HTTP {status}" for status, count in errors_by_status.items()
         )
         print(f"non-200 responses: {shed}")
+    _print_worker_attribution(args.url)
     if args.fail_on_error and report.errors:
         print(
             f"error: {report.errors}/{report.requests} requests failed",

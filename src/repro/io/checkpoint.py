@@ -501,7 +501,168 @@ def load_checkpoint_with_manifest(
     return _reconstruct(manifest, arrays, strict=strict), manifest
 
 
+def load_mapped(
+    path,
+    strict: bool = True,
+    expected_class: Optional[str] = None,
+    cache_dir=None,
+):
+    """Load a checkpoint with its arrays **memory-mapped**, not copied.
+
+    ``.npz`` archives are zlib-compressed, so the arrays inside cannot be
+    mapped in place.  This loader extracts each array once into a sidecar
+    cache directory (``<checkpoint>.mapped/<fingerprint>/`` by default) as
+    a plain ``.npy`` file, then opens every array with
+    ``np.load(..., mmap_mode="r")``.  The pages live in the OS page cache,
+    so N processes serving the same checkpoint share **one** physical copy
+    of the model instead of N heap copies -- the memory model behind
+    ``repro serve --workers N`` (see ``docs/operations.md``).
+
+    The cache is keyed by the checkpoint's size + mtime: re-saving a
+    checkpoint at the same path invalidates the old extraction
+    automatically.  Extraction is crash-safe and multi-process safe
+    (write-to-temp + ``os.replace`` per file, completeness marker written
+    last), so concurrent workers may race to extract without corruption.
+
+    The restored model is **bit-exact** with :func:`load_checkpoint` --
+    the arrays are verbatim bytes, merely mapped read-only.  Writing into
+    a mapped array raises ``ValueError`` (a worker cannot corrupt the
+    shared extraction); retraining via ``fit`` still works, because
+    training builds fresh private arrays instead of mutating in place.
+
+    Parameters
+    ----------
+    path:
+        Checkpoint file written by :func:`save_checkpoint`.
+    strict / expected_class:
+        As for :func:`load_checkpoint`.
+    cache_dir:
+        Override the extraction cache root (default: sibling directory
+        ``<checkpoint>.mapped``).
+
+    Returns
+    -------
+    object
+        The restored model, reading its arrays through read-only memmaps.
+    """
+    model, _ = load_mapped_with_manifest(
+        path, strict=strict, expected_class=expected_class, cache_dir=cache_dir
+    )
+    return model
+
+
+def load_mapped_with_manifest(
+    path,
+    strict: bool = True,
+    expected_class: Optional[str] = None,
+    cache_dir=None,
+):
+    """Like :func:`load_mapped`, also returning the parsed manifest."""
+    path = os.fspath(path)
+    extraction = _ensure_extracted(path, cache_dir)
+    manifest = CheckpointManifest.from_json(
+        (extraction / "manifest.json").read_text("utf-8")
+    )
+    if expected_class is not None and manifest.model_class != expected_class:
+        raise CheckpointError(
+            f"expected a {expected_class} checkpoint, found "
+            f"{manifest.model_class} in {path}"
+        )
+    arrays: Dict[str, np.ndarray] = {}
+    for name in manifest.arrays:
+        member = extraction / (name + ".npy")
+        try:
+            arrays[name] = np.load(member, mmap_mode="r", allow_pickle=False)
+        except (OSError, ValueError) as error:
+            raise CheckpointError(
+                f"unreadable mapped array {member}: {error}"
+            ) from error
+    _validate_arrays(manifest, arrays, strict=strict)
+    return _reconstruct(manifest, arrays, strict=strict), manifest
+
+
 # ------------------------------------------------------------------ internals
+def _extraction_fingerprint(path: str) -> str:
+    """Cache key tying an extraction to one version of the ``.npz`` bytes."""
+    stat = os.stat(path)
+    token = f"{stat.st_size}:{stat.st_mtime_ns}"
+    return hashlib.sha256(token.encode("utf-8")).hexdigest()[:16]
+
+
+def _ensure_extracted(path: str, cache_dir):
+    """Extract ``path``'s arrays into the mapped cache (idempotent).
+
+    Returns the extraction directory, guaranteed complete: the
+    ``manifest.json`` marker is written only after every array landed, and
+    every file is placed by write-to-temp + ``os.replace`` so concurrent
+    extractions (N workers starting at once) interleave safely.
+    """
+    from pathlib import Path
+
+    root = Path(cache_dir) if cache_dir is not None else Path(path + ".mapped")
+    try:
+        fingerprint = _extraction_fingerprint(path)
+    except FileNotFoundError:
+        raise
+    except OSError as error:
+        raise CheckpointError(f"unreadable checkpoint {path}: {error}") from error
+    target = root / fingerprint
+    marker = target / "manifest.json"
+    if marker.exists():
+        return target
+    target.mkdir(parents=True, exist_ok=True)
+    with _open_archive(path) as archive:
+        manifest = _parse_manifest(archive, path)
+        for key in archive.files:
+            if not key.startswith(ARRAY_PREFIX):
+                continue
+            name = key[len(ARRAY_PREFIX) :]
+            _atomic_write_npy(target, name + ".npy", np.asarray(archive[key]))
+    _atomic_write_bytes(target, "manifest.json", manifest.to_json().encode("utf-8"))
+    _prune_stale_extractions(root, keep=fingerprint)
+    return target
+
+
+def _atomic_write_npy(directory, filename, array: np.ndarray) -> None:
+    fd, scratch = tempfile.mkstemp(prefix=filename + ".", dir=os.fspath(directory))
+    try:
+        with os.fdopen(fd, "wb") as stream:
+            np.save(stream, array, allow_pickle=False)
+        os.chmod(scratch, 0o666 & ~_UMASK)
+        os.replace(scratch, os.path.join(os.fspath(directory), filename))
+    except BaseException:
+        if os.path.exists(scratch):
+            os.unlink(scratch)
+        raise
+
+
+def _atomic_write_bytes(directory, filename, payload: bytes) -> None:
+    fd, scratch = tempfile.mkstemp(prefix=filename + ".", dir=os.fspath(directory))
+    try:
+        with os.fdopen(fd, "wb") as stream:
+            stream.write(payload)
+        os.chmod(scratch, 0o666 & ~_UMASK)
+        os.replace(scratch, os.path.join(os.fspath(directory), filename))
+    except BaseException:
+        if os.path.exists(scratch):
+            os.unlink(scratch)
+        raise
+
+
+def _prune_stale_extractions(root, keep: str) -> None:
+    """Best-effort removal of extractions for older checkpoint versions."""
+    import shutil
+
+    try:
+        entries = list(os.scandir(root))
+    except OSError:
+        return
+    for entry in entries:
+        if entry.name == keep or not entry.is_dir():
+            continue
+        shutil.rmtree(entry.path, ignore_errors=True)
+
+
 def _open_archive(path):
     try:
         archive = np.load(path, allow_pickle=False)

@@ -37,6 +37,8 @@ from repro.io.checkpoint import (
     save_checkpoint,
     load_checkpoint,
     load_checkpoint_with_manifest,
+    load_mapped,
+    load_mapped_with_manifest,
 )
 
 #: Environment variable overriding the default store location.
@@ -248,6 +250,7 @@ class ArtifactRegistry:
         if not path.is_file():
             raise RegistryError(f"artifact {name}:{tag} not found in store {self.root}")
         path.unlink()
+        self._drop_mapped_cache(path)
         self._drop_if_empty(path.parent)
         return path
 
@@ -282,16 +285,25 @@ class ArtifactRegistry:
             for tag in self.tags(artifact)[keep:]:
                 path = self.path_for(artifact, tag)
                 path.unlink()
+                self._drop_mapped_cache(path)
                 removed.append(path)
             self._drop_if_empty(self.root / artifact)
         return removed
 
     # ------------------------------------------------------------ inspection
-    def load(self, spec: str, strict: bool = True):
-        """Resolve and load an artifact back into a fitted model."""
+    def load(self, spec: str, strict: bool = True, mapped: bool = False):
+        """Resolve and load an artifact back into a fitted model.
+
+        ``mapped=True`` uses the zero-copy
+        :func:`repro.io.checkpoint.load_mapped` path: arrays are
+        memory-mapped out of a sidecar extraction cache so concurrent
+        worker processes share one physical copy of the model.
+        """
+        if mapped:
+            return load_mapped(self.resolve(spec), strict=strict)
         return load_checkpoint(self.resolve(spec), strict=strict)
 
-    def load_with_manifest(self, spec: str, strict: bool = True):
+    def load_with_manifest(self, spec: str, strict: bool = True, mapped: bool = False):
         """Resolve and load an artifact, also returning its provenance.
 
         Returns
@@ -300,10 +312,15 @@ class ArtifactRegistry:
             ``(model, manifest, resolved_spec)`` where ``resolved_spec``
             is the exact ``name:tag`` the spec resolved to (``latest``
             pinned to the concrete newest tag).  This is the loader the
-            multi-model serving pool uses for cold starts and hot swaps.
+            multi-model serving pool uses for cold starts and hot swaps;
+            prefork workers pass ``mapped=True`` so every replica reads
+            the same physical pages (see :func:`load`).
         """
         path = self.resolve(spec)
-        model, manifest = load_checkpoint_with_manifest(path, strict=strict)
+        if mapped:
+            model, manifest = load_mapped_with_manifest(path, strict=strict)
+        else:
+            model, manifest = load_checkpoint_with_manifest(path, strict=strict)
         return model, manifest, f"{path.parent.name}:{path.stem}"
 
     def inspect(self, spec: str) -> CheckpointManifest:
@@ -351,6 +368,10 @@ class ArtifactRegistry:
     def _drop_if_empty(self, directory: Path) -> None:
         if directory.is_dir() and not any(directory.iterdir()):
             shutil.rmtree(directory)
+
+    def _drop_mapped_cache(self, path: Path) -> None:
+        """Remove the ``load_mapped`` extraction cache of a deleted artifact."""
+        shutil.rmtree(str(path) + ".mapped", ignore_errors=True)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ArtifactRegistry(root={str(self.root)!r})"

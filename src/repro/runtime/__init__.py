@@ -16,6 +16,11 @@ path, layered bottom-up:
 * :class:`ModelServer` -- the ``repro serve`` stdlib-HTTP daemon over a
   pool (``/predict``, ``/models/<name>/predict``, ``/reload``,
   ``/healthz``, ``/stats``, ``/manifest``);
+* :class:`WorkerSupervisor` / :class:`WorkerConfig` -- the
+  ``repro serve --workers N`` prefork scale-out layer: N worker processes
+  over one shared listening socket and memory-mapped checkpoints, with
+  crash respawn, graceful drain, aggregated ``/stats`` and fanned-out
+  ``/reload``;
 * :func:`run_load` / :class:`LoadReport` -- the ``repro loadtest``
   open/closed-loop load generator reporting QPS and p50/p95/p99 latency.
 
@@ -47,6 +52,12 @@ from repro.runtime.scheduler import (
     SchedulerStats,
 )
 from repro.runtime.server import ModelServer, ServerStats
+from repro.runtime.workers import (
+    WorkerConfig,
+    WorkerSupervisor,
+    fork_available,
+    reuseport_available,
+)
 
 __all__ = [
     "BatchScheduler",
@@ -67,4 +78,8 @@ __all__ = [
     "ServedModel",
     "ServerStats",
     "UnknownModelError",
+    "WorkerConfig",
+    "WorkerSupervisor",
+    "fork_available",
+    "reuseport_available",
 ]

@@ -40,6 +40,8 @@ from typing import Any, Dict, List, Optional
 
 import numpy as np
 
+from repro.runtime.pipeline import MIN_MEASURABLE_SECONDS
+
 #: Loop modes accepted by :func:`run_load`.
 MODES = ("closed", "open")
 
@@ -73,17 +75,23 @@ class LoadReport:
 
     @property
     def qps(self) -> float:
-        """Successfully served queries per wall-clock second."""
+        """Successfully served queries per wall-clock second.
+
+        The elapsed time is clamped to the same 1 ns floor as
+        :class:`repro.runtime.pipeline.PipelineStats`, so a
+        sub-clock-resolution window (tiny ``--smoke`` runs) reports a
+        huge-but-finite rate instead of ``inf``.
+        """
         if self.duration_seconds <= 0:
             return 0.0
-        return self.queries / self.duration_seconds
+        return self.queries / max(self.duration_seconds, MIN_MEASURABLE_SECONDS)
 
     @property
     def request_rate(self) -> float:
-        """Successful requests per wall-clock second."""
+        """Successful requests per wall-clock second (same 1 ns clamp)."""
         if self.duration_seconds <= 0:
             return 0.0
-        return self.successes / self.duration_seconds
+        return self.successes / max(self.duration_seconds, MIN_MEASURABLE_SECONDS)
 
     def latency_percentile(self, fraction: float) -> float:
         """Nearest-rank latency percentile in seconds (0 when empty)."""
@@ -144,6 +152,17 @@ class _Collector:
 def _get_json(url: str, timeout: float = REQUEST_TIMEOUT_S) -> Dict[str, Any]:
     with urllib.request.urlopen(url, timeout=timeout) as response:
         return json.loads(response.read().decode("utf-8"))
+
+
+def fetch_server_stats(url: str) -> Dict[str, Any]:
+    """``GET /stats`` of a live server, decoded.
+
+    Single-process servers return their own counters; a prefork pool
+    (``repro serve --workers N``) returns the cluster-merged view with
+    per-worker payloads under ``"workers"`` -- which is how
+    ``repro loadtest`` prints per-worker attribution after a run.
+    """
+    return _get_json(f"{url.rstrip('/')}/stats")
 
 
 def server_num_features(url: str, model: Optional[str] = None) -> int:
@@ -280,9 +299,7 @@ def run_load(
 
         def _connect(self) -> socket.socket:
             if self.sock is None:
-                self.sock = socket.create_connection(
-                    netloc, timeout=REQUEST_TIMEOUT_S
-                )
+                self.sock = socket.create_connection(netloc, timeout=REQUEST_TIMEOUT_S)
                 # Request writes must not queue behind delayed ACKs.
                 self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
                 self.buffer = b""

@@ -210,6 +210,11 @@ class ModelPool:
         baseline).
     max_batch_size / max_wait_ms / queue_depth:
         Forwarded to every entry's :class:`BatchScheduler`.
+    mapped:
+        When ``True``, registry specs are loaded through the zero-copy
+        :func:`repro.io.checkpoint.load_mapped` path so every worker
+        process serving the same checkpoint shares one physical copy of
+        its arrays (used by ``repro serve --workers N``).
     """
 
     def __init__(
@@ -222,6 +227,7 @@ class ModelPool:
         max_batch_size: int = 64,
         max_wait_ms: float = 2.0,
         queue_depth: int = 128,
+        mapped: bool = False,
     ) -> None:
         self.registry = registry
         self.engine = engine
@@ -231,6 +237,7 @@ class ModelPool:
         self.max_batch_size = int(max_batch_size)
         self.max_wait_ms = float(max_wait_ms)
         self.queue_depth = int(queue_depth)
+        self.mapped = bool(mapped)
         self._lock = threading.Lock()
         # Serializes reload's get -> build -> install sequence; without
         # it two concurrent reloads of one key could both claim the same
@@ -319,7 +326,7 @@ class ModelPool:
     def _load_spec(self, spec: str):
         if self.registry is None:
             raise PoolError("pool has no artifact registry to load specs from")
-        return self.registry.load_with_manifest(spec)
+        return self.registry.load_with_manifest(spec, mapped=self.mapped)
 
     # -------------------------------------------------------------- routing
     @property

@@ -36,6 +36,13 @@ Endpoints (all JSON):
     Server-level counters (errors broken down by status; error responses
     never contribute to ``queries_per_second``), total queue depth, and
     per-model counters including the scheduler's batch-size histogram.
+    Under ``repro serve --workers N`` this is the **cluster** view: the
+    worker forwards to the parent supervisor, which merges every worker's
+    local counters and nests them under a ``workers`` key (see
+    :mod:`repro.runtime.workers`).
+``GET /stats/local``
+    Always this process's own counters, never aggregated -- the payload
+    ``GET /stats`` returns in single-process mode.
 ``GET /manifest`` / ``GET /models/<name>/manifest``
     The checkpoint manifest of the default / named model.
 ``GET /models``
@@ -64,6 +71,7 @@ from __future__ import annotations
 
 import json
 import math
+import socket
 import threading
 import time
 from concurrent.futures import TimeoutError as FutureTimeoutError
@@ -174,6 +182,11 @@ class _RequestHandler(BaseHTTPRequestHandler):
         payload: Dict[str, Any],
         headers: Optional[Dict[str, str]] = None,
     ) -> None:
+        if self._service.draining:
+            # A draining worker answers the in-flight request, then ends
+            # the keep-alive connection so the client reconnects (and the
+            # kernel routes it to a live worker).
+            self.close_connection = True
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
@@ -210,10 +223,19 @@ class _RequestHandler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
         service = self._service
+        service._request_started()
+        try:
+            self._route_get(service)
+        finally:
+            service._request_finished()
+
+    def _route_get(self, service: "ModelServer") -> None:
         key, path = self._model_route(self.path)
         if path == "/healthz" and key is None:
             self._send_json(200, service.health())
         elif path == "/stats" and key is None:
+            self._send_json(200, service.cluster_stats_dict())
+        elif self.path == "/stats/local":
             self._send_json(200, service.stats_dict())
         elif self.path == "/models":
             self._send_json(200, {"models": service.pool.describe()})
@@ -264,6 +286,14 @@ class _RequestHandler(BaseHTTPRequestHandler):
         return payload
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        service = self._service
+        service._request_started()
+        try:
+            self._route_post(service)
+        finally:
+            service._request_finished()
+
+    def _route_post(self, service: "ModelServer") -> None:
         key, path = self._model_route(self.path)
         if path not in ("/predict", "/reload") or (path == "/reload" and key):
             # The body was never read; keeping the connection alive would
@@ -276,9 +306,9 @@ class _RequestHandler(BaseHTTPRequestHandler):
             return
         try:
             if path == "/reload":
-                response = self._service.reload_payload(payload)
+                response = service.cluster_reload_payload(payload)
             else:
-                response = self._service.predict_request(payload, key=key)
+                response = service.predict_request(payload, key=key)
         except ServerError as error:
             self._fail(error.status, str(error), headers=error.headers)
             return
@@ -320,6 +350,22 @@ class ModelServer:
         :class:`~repro.runtime.scheduler.BatchScheduler`).
     model_key:
         Routing key for the in-process ``model`` (default ``"default"``).
+    mapped:
+        Load registry specs through the zero-copy
+        :func:`repro.io.checkpoint.load_mapped` path, so co-resident
+        worker processes share one physical copy of each model's arrays.
+    listen_socket:
+        Adopt an already-bound, already-listening socket instead of
+        binding one (the prefork **inherited-FD** mode: the supervisor
+        binds once before forking and every worker accepts on the same
+        kernel queue).  Mutually exclusive with ``reuse_port``.
+    reuse_port:
+        Bind with ``SO_REUSEPORT``, letting N processes bind the same
+        ``host:port`` and the kernel load-balance accepts between them
+        (the prefork fast path on Linux/BSD).
+    worker_id:
+        Identity stamped into ``/healthz`` and ``/stats/local`` payloads
+        when this server is one replica of a prefork pool.
 
     The constructor fully warms every pipeline, so the first request pays
     no lazy-initialization cost.
@@ -341,11 +387,17 @@ class ModelServer:
         max_wait_ms: float = 2.0,
         queue_depth: int = 128,
         model_key: str = "default",
+        mapped: bool = False,
+        listen_socket: Optional[socket.socket] = None,
+        reuse_port: bool = False,
+        worker_id: Optional[int] = None,
     ) -> None:
         if model is None and not models:
             raise ValueError("provide an in-process model and/or registry specs")
         if models and registry is None:
             raise ValueError("serving registry specs requires a registry")
+        if listen_socket is not None and reuse_port:
+            raise ValueError("listen_socket and reuse_port are mutually exclusive")
         self.pool = ModelPool(
             registry=registry,
             engine=engine,
@@ -355,13 +407,57 @@ class ModelServer:
             max_batch_size=max_batch_size,
             max_wait_ms=max_wait_ms,
             queue_depth=queue_depth,
+            mapped=mapped,
         )
         if model is not None:
             self.pool.add_model(model_key, model, manifest=manifest)
         for spec in models or ():
             self.pool.add_spec(spec)
         self.stats = ServerStats()
-        self._httpd = _ServingHTTPServer((host, port), _RequestHandler)
+        self.worker_id = worker_id
+        #: Control-plane hook installed by :mod:`repro.runtime.workers`:
+        #: an object with ``stats()`` and ``reload(payload)`` methods that
+        #: execute against the whole worker pool.  ``None`` in
+        #: single-process mode.
+        self.cluster = None
+        self._draining = False
+        self._active_requests = 0
+        self._active_cond = threading.Condition()
+        self._httpd = _ServingHTTPServer(
+            (host, port), _RequestHandler, bind_and_activate=False
+        )
+        try:
+            if listen_socket is not None:
+                # Adopt the supervisor's socket: replace the unused one the
+                # constructor made, skip bind, go straight to serving.
+                # Non-blocking accept, because sibling processes share the
+                # same accept queue: after the selector reports readiness a
+                # sibling may win the connection, and a blocking accept()
+                # would then stall this worker's whole serve loop
+                # (socketserver treats the resulting BlockingIOError as a
+                # no-op and keeps polling).
+                listen_socket.setblocking(False)
+                self._httpd.socket.close()
+                self._httpd.socket = listen_socket
+                address = listen_socket.getsockname()
+                self._httpd.server_address = (address[0], address[1])
+                self._httpd.server_name = address[0]
+                self._httpd.server_port = int(address[1])
+            else:
+                if reuse_port:
+                    if not hasattr(socket, "SO_REUSEPORT"):
+                        raise ValueError(
+                            "SO_REUSEPORT is not available on this platform"
+                        )
+                    self._httpd.socket.setsockopt(
+                        socket.SOL_SOCKET, socket.SO_REUSEPORT, 1
+                    )
+                self._httpd.server_bind()
+                self._httpd.server_activate()
+        except BaseException:
+            self._httpd.server_close()
+            self.pool.close(drain=False)
+            raise
         self._httpd.service = self  # type: ignore[attr-defined]
         self._thread: Optional[threading.Thread] = None
         self._serving = False
@@ -396,6 +492,35 @@ class ModelServer:
     def url(self) -> str:
         """Base URL of the daemon (e.g. ``http://127.0.0.1:8000``)."""
         return f"http://{self.host}:{self.port}"
+
+    # ----------------------------------------------------- request accounting
+    @property
+    def draining(self) -> bool:
+        """True once a graceful drain began (keep-alives are being shed)."""
+        return self._draining
+
+    def _request_started(self) -> None:
+        with self._active_cond:
+            self._active_requests += 1
+
+    def _request_finished(self) -> None:
+        with self._active_cond:
+            self._active_requests -= 1
+            if self._active_requests == 0:
+                self._active_cond.notify_all()
+
+    @property
+    def active_requests(self) -> int:
+        """Requests currently inside a handler (admitted, unanswered)."""
+        with self._active_cond:
+            return self._active_requests
+
+    def wait_idle(self, timeout: float = 30.0) -> bool:
+        """Block until no request is in flight; ``False`` on timeout."""
+        with self._active_cond:
+            return self._active_cond.wait_for(
+                lambda: self._active_requests == 0, timeout=timeout
+            )
 
     # ------------------------------------------------------------- lifecycle
     def serve_forever(self) -> None:
@@ -435,6 +560,34 @@ class ModelServer:
             self._thread.join(timeout=5.0)
             self._thread = None
 
+    def drain(self, timeout: float = 30.0) -> bool:
+        """Gracefully retire this server: finish everything, answer it all.
+
+        The SIGTERM path of a prefork worker.  In order:
+
+        1. mark the server draining, so every response from now on carries
+           ``Connection: close`` (keep-alive clients re-connect elsewhere);
+        2. stop the accept loop and close the listening socket (under
+           ``SO_REUSEPORT`` the kernel immediately stops routing new
+           connections here; an inherited FD stays open in the parent);
+        3. wait until no request is inside a handler;
+        4. drain + close every scheduler, so queued work is answered.
+
+        Returns ``True`` when in-flight requests finished inside
+        ``timeout``; ``False`` means the drain gave up waiting (schedulers
+        are still closed, queued work still answered).
+        """
+        self._draining = True
+        if self._serving or (self._thread is not None and self._thread.is_alive()):
+            self._httpd.shutdown()
+        self._httpd.server_close()
+        completed = self.wait_idle(timeout)
+        self.pool.close(drain=True)
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        return completed
+
     def __enter__(self) -> "ModelServer":
         return self.start()
 
@@ -453,15 +606,49 @@ class ModelServer:
             "batching": self.pool.batching,
             "models": self.pool.describe(),
             "uptime_s": time.time() - self.stats.started_unix,
+            **({"worker": int(self.worker_id)} if self.worker_id is not None else {}),
         }
 
     def stats_dict(self) -> Dict[str, Any]:
-        """Payload of ``GET /stats``: server counters + per-model nesting."""
+        """Payload of ``GET /stats/local``: this process's counters only."""
         payload = self.stats.as_dict()
         payload["queue_depth"] = self.pool.total_queue_size()
         payload["batching"] = self.pool.batching
         payload["models"] = self.pool.stats_dict()
+        if self.worker_id is not None:
+            payload["worker"] = int(self.worker_id)
         return payload
+
+    def cluster_stats_dict(self) -> Dict[str, Any]:
+        """Payload of ``GET /stats``: cluster-merged when preforked.
+
+        Single-process servers answer locally.  A prefork worker forwards
+        to the supervisor (which polls every worker and merges); if the
+        control channel fails mid-flight the worker degrades to its local
+        view rather than 500-ing the scrape.
+        """
+        if self.cluster is None:
+            return self.stats_dict()
+        try:
+            return self.cluster.stats()
+        except Exception:
+            return self.stats_dict()
+
+    def cluster_reload_payload(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Payload of ``POST /reload``: fanned out when preforked.
+
+        Each worker performs its own atomic swap-then-drain, so responses
+        remain wholly one version *per worker*; the supervisor serializes
+        fan-outs so two concurrent reloads cannot interleave.
+        """
+        if self.cluster is None:
+            return self.reload_payload(payload)
+        try:
+            return self.cluster.reload(payload)
+        except ServerError:
+            raise
+        except Exception as error:
+            raise ServerError(503, f"cluster reload failed: {error}") from error
 
     def manifest_dict(self) -> Dict[str, Any]:
         """Payload of ``GET /manifest`` (default model)."""

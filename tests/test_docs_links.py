@@ -1,0 +1,103 @@
+"""Documentation link checks.
+
+Every intra-repo markdown link must point at a file that exists, and
+every `#anchor` (same-page or cross-page) must match a real heading.
+External (`http://`, `https://`, `mailto:`) links are out of scope --
+CI must not flake on the network -- but a dead relative link is a docs
+regression this suite turns into a test failure.
+
+Also pins the PR 6 docs contract: `docs/operations.md` exists and is
+cross-linked from both the README and `docs/architecture.md`.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: The documentation surface under link-checking.  PAPER.md / ISSUE.md /
+#: SNIPPETS.md are driver-managed scratch files, not documentation.
+DOC_FILES = sorted(
+    [
+        REPO_ROOT / "README.md",
+        REPO_ROOT / "ROADMAP.md",
+        *(REPO_ROOT / "docs").glob("*.md"),
+    ]
+)
+
+_INLINE_LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*$", re.MULTILINE)
+_FENCE = re.compile(r"^(```|~~~).*?^\1\s*$", re.MULTILINE | re.DOTALL)
+
+
+def _strip_code_fences(text: str) -> str:
+    """Fenced code blocks may contain markdown-looking noise; skip them."""
+    return _FENCE.sub("", text)
+
+
+def _github_slug(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, drop punctuation, dashes for spaces."""
+    heading = re.sub(r"`([^`]*)`", r"\1", heading)  # inline code keeps its text
+    heading = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)  # link text only
+    heading = heading.strip().lower()
+    heading = re.sub(r"[^\w\- ]", "", heading)
+    return heading.replace(" ", "-")
+
+
+def _anchors(path: Path) -> set:
+    slugs = set()
+    seen = {}
+    for match in _HEADING.finditer(_strip_code_fences(path.read_text("utf-8"))):
+        slug = _github_slug(match.group(2))
+        count = seen.get(slug, 0)
+        seen[slug] = count + 1
+        slugs.add(slug if count == 0 else f"{slug}-{count}")
+    return slugs
+
+
+def _links(path: Path):
+    for match in _INLINE_LINK.finditer(_strip_code_fences(path.read_text("utf-8"))):
+        yield match.group(1)
+
+
+def _is_external(target: str) -> bool:
+    return target.startswith(("http://", "https://", "mailto:", "ftp://"))
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=lambda p: str(p.relative_to(REPO_ROOT)))
+def test_intra_repo_links_resolve(doc):
+    broken = []
+    for target in _links(doc):
+        if _is_external(target):
+            continue
+        path_part, _, anchor = target.partition("#")
+        destination = doc if not path_part else (doc.parent / path_part).resolve()
+        if not destination.exists():
+            broken.append(f"{target} -> missing file {destination}")
+            continue
+        if anchor and destination.suffix == ".md":
+            if anchor not in _anchors(destination):
+                broken.append(f"{target} -> no heading for #{anchor}")
+    assert not broken, f"dead links in {doc.name}:\n  " + "\n  ".join(broken)
+
+
+def test_docs_are_discovered():
+    """The checker must actually be looking at the docs surface."""
+    names = {path.name for path in DOC_FILES}
+    assert {"README.md", "ROADMAP.md", "architecture.md", "operations.md"} <= names
+
+
+def test_operations_guide_is_cross_linked():
+    """PR 6 contract: the operator guide exists and is reachable."""
+    operations = REPO_ROOT / "docs" / "operations.md"
+    assert operations.is_file()
+    readme = (REPO_ROOT / "README.md").read_text("utf-8")
+    architecture = (REPO_ROOT / "docs" / "architecture.md").read_text("utf-8")
+    assert "docs/operations.md" in readme
+    assert "operations.md" in architecture
+    # And the guide links back to the design doc.
+    assert "architecture.md" in operations.read_text("utf-8")

@@ -3,9 +3,11 @@
 from __future__ import annotations
 
 import json
+import os
 
 import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.baselines import (
     BasicHDC,
@@ -34,6 +36,8 @@ from repro.io.checkpoint import (
     dataset_fingerprint,
     load_checkpoint,
     load_checkpoint_with_manifest,
+    load_mapped,
+    load_mapped_with_manifest,
     read_manifest,
     save_checkpoint,
 )
@@ -450,3 +454,105 @@ class TestValidation:
         with np.load(checkpoint) as archive:
             manifest = json.loads(archive[MANIFEST_KEY].tobytes().decode("utf-8"))
         assert manifest["magic"] == MAGIC
+
+
+class TestLoadMapped:
+    """Zero-copy loader: mapped arrays must be byte-identical to eager ones."""
+
+    @pytest.mark.parametrize("kind", PACKED_KINDS)
+    @pytest.mark.parametrize("dimension", [48, 37])
+    def test_mapped_matches_eager(self, kind, dimension, tiny_dataset, tmp_path):
+        model = _fit_model(kind, tiny_dataset, dimension=dimension)
+        path = tmp_path / "model.npz"
+        save_checkpoint(model, path)
+        eager = load_checkpoint(path)
+        mapped = load_mapped(path)
+        assert type(mapped) is type(eager)
+        for engine in ("float", "packed"):
+            assert np.array_equal(
+                eager.predict(tiny_dataset.test_features, engine=engine),
+                mapped.predict(tiny_dataset.test_features, engine=engine),
+            ), engine
+
+    def test_extraction_cache_layout_and_reuse(self, tiny_dataset, tmp_path):
+        model = _fit_model("memhd", tiny_dataset)
+        path = tmp_path / "model.npz"
+        save_checkpoint(model, path)
+        load_mapped(path)
+        root = tmp_path / "model.npz.mapped"
+        extractions = sorted(entry for entry in root.iterdir() if entry.is_dir())
+        assert len(extractions) == 1
+        marker = extractions[0] / "manifest.json"
+        assert marker.exists()
+        assert list(extractions[0].glob("*.npy"))
+        stamps = {
+            member.name: member.stat().st_mtime_ns
+            for member in extractions[0].iterdir()
+        }
+        load_mapped(path)  # second load: pure cache hit, nothing rewritten
+        assert stamps == {
+            member.name: member.stat().st_mtime_ns
+            for member in extractions[0].iterdir()
+        }
+
+    def test_rewritten_checkpoint_invalidates_cache(self, tiny_dataset, tmp_path):
+        path = tmp_path / "model.npz"
+        save_checkpoint(_fit_model("memhd", tiny_dataset), path)
+        load_mapped(path)
+        root = tmp_path / "model.npz.mapped"
+        (old_extraction,) = (entry for entry in root.iterdir() if entry.is_dir())
+        # Re-save a *different* model at the same path with a bumped mtime.
+        save_checkpoint(_fit_model("memhd", tiny_dataset, dimension=64), path)
+        os.utime(path, ns=(0, path.stat().st_mtime_ns + 1_000_000_000))
+        restored = load_mapped(path)
+        assert restored.config.dimension == 64
+        (new_extraction,) = (entry for entry in root.iterdir() if entry.is_dir())
+        assert new_extraction != old_extraction
+        assert not old_extraction.exists(), "stale extraction must be pruned"
+
+    def test_mapped_manifest_and_expected_class(self, tiny_dataset, tmp_path):
+        model = _fit_model("memhd", tiny_dataset)
+        path = tmp_path / "model.npz"
+        save_checkpoint(model, path)
+        _, mapped_manifest = load_mapped_with_manifest(path)
+        assert mapped_manifest.to_json() == read_manifest(path).to_json()
+        with pytest.raises(CheckpointError, match="expected a"):
+            load_mapped(path, expected_class="BasicHDC")
+
+    def test_mapped_arrays_are_read_only(self, tiny_dataset, tmp_path):
+        """Mapped arrays are shared pages: in-place writes must be refused.
+
+        (``fit`` on a mapped model still works -- training builds fresh
+        private arrays -- so a stray write can never corrupt the shared
+        extraction other workers are mapping.)
+        """
+        path = tmp_path / "model.npz"
+        save_checkpoint(_fit_model("memhd", tiny_dataset), path)
+        mapped = load_mapped(path)
+        am = mapped._am
+        for array in (am.binary_memory, am.fp_memory, am.column_classes):
+            assert not array.flags.writeable
+        with pytest.raises(ValueError, match="read-only"):
+            am.binary_memory[0, 0] = 0
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_mapped(tmp_path / "absent.npz")
+
+    @given(dimension=st.integers(min_value=17, max_value=96))
+    @settings(max_examples=6, deadline=None)
+    def test_mapped_bit_exact_any_dimension(
+        self, dimension, tiny_dataset, tmp_path_factory
+    ):
+        """Property: eager/mapped equivalence holds at every D, odd tails
+        included (packed words at D % 64 != 0 exercise the masked path)."""
+        model = _fit_model("memhd", tiny_dataset, dimension=dimension)
+        path = tmp_path_factory.mktemp("mapped-prop") / "model.npz"
+        save_checkpoint(model, path)
+        eager = load_checkpoint(path)
+        mapped = load_mapped(path)
+        for engine in ("float", "packed"):
+            assert np.array_equal(
+                eager.predict(tiny_dataset.test_features, engine=engine),
+                mapped.predict(tiny_dataset.test_features, engine=engine),
+            ), f"mapped != eager at D={dimension} ({engine})"

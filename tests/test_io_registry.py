@@ -98,6 +98,31 @@ class TestSaveResolve:
         assert manifest.metrics == {"acc": 1.0}
         assert manifest.dataset["name"] == tiny_dataset.name
 
+    def test_mapped_load_bit_exact_and_listing_clean(
+        self, registry, model, tiny_dataset
+    ):
+        """``load(mapped=True)`` equals the eager load; the sidecar
+        extraction cache never shows up as a registry entry."""
+        registry.save(model, "demo")
+        eager = registry.load("demo")
+        mapped = registry.load("demo", mapped=True)
+        assert np.array_equal(
+            eager.predict(tiny_dataset.test_features, engine="packed"),
+            mapped.predict(tiny_dataset.test_features, engine="packed"),
+        )
+        cache = registry.path_for("demo", "v1").with_name("v1.npz.mapped")
+        assert cache.is_dir()
+        assert [entry.tag for entry in registry.list_entries("demo")] == ["v1"]
+
+    def test_remove_drops_mapped_cache(self, registry, model):
+        registry.save(model, "demo")
+        registry.save(model, "demo")
+        registry.load("demo:v1", mapped=True)
+        cache = registry.path_for("demo", "v1").with_name("v1.npz.mapped")
+        assert cache.is_dir()
+        registry.remove("demo:v1")
+        assert not cache.exists(), "remove() must drop the extraction cache"
+
 
 class TestListings:
     def test_empty_store(self, registry):

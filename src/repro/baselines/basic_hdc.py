@@ -24,7 +24,8 @@ from repro.baselines.base import HDCClassifier, TrainingHistory
 from repro.hdc.encoders import RandomProjectionEncoder, check_encoder_shape
 from repro.hdc.hypervector import _as_generator, bipolarize
 from repro.hdc.memory_model import MemoryReport, model_memory_report
-from repro.hdc.packed import PackedVectors, pack_bipolar, packed_dot_similarity
+from repro.hdc.packed import PackedAM, PackedVectors, pack_bipolar, packed_dot_similarity
+from repro.hdc.pruned import PrunedAM
 from repro.hdc.similarity import dot_similarity
 from repro.eval.metrics import accuracy
 
@@ -101,6 +102,9 @@ class BasicHDC(HDCClassifier):
         self._fp_am: Optional[np.ndarray] = None
         self._am: Optional[np.ndarray] = None
         self._packed_am: Optional[PackedVectors] = None
+        self._pruned_am: Optional[PrunedAM] = None
+        #: Shortlist width of the pruned engine (None = heuristic default).
+        self.prune_topk: Optional[int] = None
 
     # ------------------------------------------------------------------ API
     def fit(
@@ -183,6 +187,7 @@ class BasicHDC(HDCClassifier):
         model._fp_am = np.asarray(arrays["fp_am"], dtype=np.float64)
         model._am = np.asarray(arrays["am"], dtype=np.float64)
         model._packed_am = None
+        model._pruned_am = None
         return model
 
     # ------------------------------------------------------------ internals
@@ -200,11 +205,35 @@ class BasicHDC(HDCClassifier):
         else:
             self._am = self._fp_am.copy()
         self._packed_am = None
+        self._pruned_am = None
 
     def prepare_engine(self, engine: str = "float") -> None:
         """Pipeline warm-up hook: pre-pack the AM for the packed engine."""
         if engine == "packed":
             self._packed()
+        elif engine == "pruned":
+            self._pruned()
+
+    def configure_pruning(self, prune_topk: Optional[int]) -> None:
+        """Set the pruned engine's shortlist width (None = heuristic)."""
+        self.prune_topk = prune_topk
+        if self._pruned_am is not None:
+            self._pruned_am.prune_topk = prune_topk
+
+    def prune_stats(self) -> Optional[Dict[str, float]]:
+        """Prune counters of the pruned engine (None before it is built)."""
+        if self._pruned_am is None:
+            return None
+        return self._pruned_am.stats()
+
+    def _pruned(self) -> PrunedAM:
+        """Centroid-pruned search index (one row per class), cached."""
+        if self._pruned_am is None:
+            packed_am = PackedAM(
+                self._packed(), np.arange(self.num_classes), self.num_classes
+            )
+            self._pruned_am = PrunedAM(packed_am, prune_topk=self.prune_topk)
+        return self._pruned_am
 
     def _packed(self) -> PackedVectors:
         """Bit-packed (bipolar) AM, built lazily and cached per refresh."""
@@ -222,12 +251,17 @@ class BasicHDC(HDCClassifier):
     def _predict_encoded(
         self, encoded: np.ndarray, engine: str = "float"
     ) -> np.ndarray:
+        if engine == "pruned":
+            # One row per class: the winning row index IS the class label.
+            return self._pruned().predict_columns(pack_bipolar(encoded))
         if engine == "packed":
             scores = packed_dot_similarity(pack_bipolar(encoded), self._packed())
         elif engine == "float":
             scores = dot_similarity(encoded, self._am)
         else:
-            raise ValueError(f"engine must be 'float' or 'packed', got {engine!r}")
+            raise ValueError(
+                f"engine must be 'float', 'packed' or 'pruned', got {engine!r}"
+            )
         return np.argmax(np.atleast_2d(scores), axis=1)
 
     def _refine_epoch(self, encoded: np.ndarray, labels: np.ndarray) -> int:

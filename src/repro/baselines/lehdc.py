@@ -29,7 +29,8 @@ from repro.baselines.base import HDCClassifier, TrainingHistory
 from repro.hdc.encoders import IDLevelEncoder, check_encoder_shape
 from repro.hdc.hypervector import _as_generator, bipolarize
 from repro.hdc.memory_model import MemoryReport, model_memory_report
-from repro.hdc.packed import PackedVectors, pack_bipolar, packed_dot_similarity
+from repro.hdc.packed import PackedAM, PackedVectors, pack_bipolar, packed_dot_similarity
+from repro.hdc.pruned import PrunedAM
 from repro.eval.metrics import accuracy
 
 
@@ -127,6 +128,9 @@ class LeHDC(HDCClassifier):
         self._latent: Optional[np.ndarray] = None
         self._binary_am: Optional[np.ndarray] = None
         self._packed_am: Optional[PackedVectors] = None
+        self._pruned_am: Optional[PrunedAM] = None
+        #: Shortlist width of the pruned engine (None = heuristic default).
+        self.prune_topk: Optional[int] = None
 
     # ------------------------------------------------------------------ API
     def fit(
@@ -146,6 +150,7 @@ class LeHDC(HDCClassifier):
         self._latent = self._rng.normal(0.0, 0.1, size=(self.num_classes, dim))
         self._binary_am = bipolarize(self._latent).astype(np.float64)
         self._packed_am = None
+        self._pruned_am = None
         history.initial_accuracy = accuracy(self._predict_encoded(encoded), y)
 
         velocity = np.zeros_like(self._latent)
@@ -176,6 +181,7 @@ class LeHDC(HDCClassifier):
                 updates += batch.size
             self._binary_am = bipolarize(self._latent).astype(np.float64)
             self._packed_am = None
+            self._pruned_am = None
             history.updates.append(updates)
             history.train_accuracy.append(
                 accuracy(self._predict_encoded(encoded), y)
@@ -239,6 +245,7 @@ class LeHDC(HDCClassifier):
         model._latent = np.asarray(arrays["latent"], dtype=np.float64)
         model._binary_am = np.asarray(arrays["binary_am"], dtype=np.float64)
         model._packed_am = None
+        model._pruned_am = None
         return model
 
     # ------------------------------------------------------------ internals
@@ -253,6 +260,29 @@ class LeHDC(HDCClassifier):
         """Pipeline warm-up hook: pre-pack the AM for the packed engine."""
         if engine == "packed":
             self._packed()
+        elif engine == "pruned":
+            self._pruned()
+
+    def configure_pruning(self, prune_topk: Optional[int]) -> None:
+        """Set the pruned engine's shortlist width (None = heuristic)."""
+        self.prune_topk = prune_topk
+        if self._pruned_am is not None:
+            self._pruned_am.prune_topk = prune_topk
+
+    def prune_stats(self) -> Optional[Dict[str, float]]:
+        """Prune counters of the pruned engine (None before it is built)."""
+        if self._pruned_am is None:
+            return None
+        return self._pruned_am.stats()
+
+    def _pruned(self) -> PrunedAM:
+        """Centroid-pruned search index (one row per class), cached."""
+        if self._pruned_am is None:
+            packed_am = PackedAM(
+                self._packed(), np.arange(self.num_classes), self.num_classes
+            )
+            self._pruned_am = PrunedAM(packed_am, prune_topk=self.prune_topk)
+        return self._pruned_am
 
     def _packed(self) -> PackedVectors:
         """Bit-packed (bipolar) AM, rebuilt whenever the binary AM moves."""
@@ -265,10 +295,15 @@ class LeHDC(HDCClassifier):
     def _predict_encoded(
         self, encoded: np.ndarray, engine: str = "float"
     ) -> np.ndarray:
+        if engine == "pruned":
+            # One row per class: the winning row index IS the class label.
+            return self._pruned().predict_columns(pack_bipolar(encoded))
         if engine == "packed":
             logits = packed_dot_similarity(pack_bipolar(encoded), self._packed())
         elif engine == "float":
             logits = encoded @ self._binary_am.T
         else:
-            raise ValueError(f"engine must be 'float' or 'packed', got {engine!r}")
+            raise ValueError(
+                f"engine must be 'float', 'packed' or 'pruned', got {engine!r}"
+            )
         return np.argmax(np.atleast_2d(logits), axis=1)

@@ -180,14 +180,16 @@ class OnlineHD(HDCClassifier):
 
     @staticmethod
     def _check_engine(engine: str) -> None:
-        if engine == "packed":
+        if engine in ("packed", "pruned"):
             raise ValueError(
                 "OnlineHD keeps a floating-point associative memory; the "
-                "packed engine (1-bit popcount search) is unavailable for "
-                "this model"
+                f"{engine} engine (1-bit popcount search) is unavailable "
+                "for this model"
             )
         if engine != "float":
-            raise ValueError(f"engine must be 'float' or 'packed', got {engine!r}")
+            raise ValueError(
+                f"engine must be 'float', 'packed' or 'pruned', got {engine!r}"
+            )
 
     def memory_report(self) -> MemoryReport:
         """Projection encoder (1-bit cells) plus a 32-bit FP class-vector AM."""

@@ -25,7 +25,8 @@ from repro.baselines.base import HDCClassifier, TrainingHistory
 from repro.hdc.encoders import IDLevelEncoder, check_encoder_shape
 from repro.hdc.hypervector import _as_generator, random_bipolar_hypervectors
 from repro.hdc.memory_model import MemoryReport, model_memory_report
-from repro.hdc.packed import PackedVectors, pack_bipolar, packed_dot_similarity
+from repro.hdc.packed import PackedAM, PackedVectors, pack_bipolar, packed_dot_similarity
+from repro.hdc.pruned import PrunedAM
 from repro.hdc.similarity import dot_similarity
 from repro.eval.metrics import accuracy
 
@@ -111,6 +112,9 @@ class SearcHD(HDCClassifier):
         # (k, N, D) bipolar class-vector tensor.
         self._am: Optional[np.ndarray] = None
         self._packed_am: Optional[PackedVectors] = None
+        self._pruned_am: Optional[PrunedAM] = None
+        #: Shortlist width of the pruned engine (None = heuristic default).
+        self.prune_topk: Optional[int] = None
 
     # ------------------------------------------------------------------ API
     def fit(
@@ -131,6 +135,7 @@ class SearcHD(HDCClassifier):
             k, n_models, dim
         )
         self._packed_am = None
+        self._pruned_am = None
         for class_label in range(k):
             members = np.flatnonzero(y == class_label)
             if members.size == 0:
@@ -204,6 +209,8 @@ class SearcHD(HDCClassifier):
         if am.ndim != 3:
             raise ValueError("SearcHD checkpoint AM must be a (k, N, D) tensor")
         model._am = am
+        model._packed_am = None
+        model._pruned_am = None
         return model
 
     # ------------------------------------------------------------ internals
@@ -218,6 +225,35 @@ class SearcHD(HDCClassifier):
         """Pipeline warm-up hook: pre-pack the AM for the packed engine."""
         if engine == "packed":
             self._packed()
+        elif engine == "pruned":
+            self._pruned()
+
+    def configure_pruning(self, prune_topk: Optional[int]) -> None:
+        """Set the pruned engine's shortlist width (None = heuristic)."""
+        self.prune_topk = prune_topk
+        if self._pruned_am is not None:
+            self._pruned_am.prune_topk = prune_topk
+
+    def prune_stats(self) -> Optional[Dict[str, float]]:
+        """Prune counters of the pruned engine (None before it is built)."""
+        if self._pruned_am is None:
+            return None
+        return self._pruned_am.stats()
+
+    def _pruned(self) -> PrunedAM:
+        """Centroid-pruned index over the flat ``(k * N, D)`` AM, cached.
+
+        Each class owns ``N`` consecutive rows of the flat AM, so the
+        column-to-class map is ``repeat(arange(k), N)`` -- the packed-AM
+        equivalent of the full scan's ``best // N`` class recovery.
+        """
+        if self._pruned_am is None:
+            k, n_models, _ = self._am.shape
+            packed_am = PackedAM(
+                self._packed(), np.repeat(np.arange(k), n_models), k
+            )
+            self._pruned_am = PrunedAM(packed_am, prune_topk=self.prune_topk)
+        return self._pruned_am
 
     def _packed(self) -> PackedVectors:
         """Bit-packed flat ``(k * N, D)`` AM, rebuilt whenever the AM moves."""
@@ -233,13 +269,17 @@ class SearcHD(HDCClassifier):
     ) -> np.ndarray:
         """Classify by the most similar of all ``k * N`` class vectors."""
         k, n_models, dim = self._am.shape
+        if engine == "pruned":
+            return self._pruned().predict(pack_bipolar(encoded))
         if engine == "packed":
             scores = packed_dot_similarity(pack_bipolar(encoded), self._packed())
         elif engine == "float":
             flat = self._am.reshape(k * n_models, dim).astype(np.float64)
             scores = dot_similarity(encoded.astype(np.float64), flat)
         else:
-            raise ValueError(f"engine must be 'float' or 'packed', got {engine!r}")
+            raise ValueError(
+                f"engine must be 'float', 'packed' or 'pruned', got {engine!r}"
+            )
         best = np.argmax(np.atleast_2d(scores), axis=1)
         return best // n_models
 
@@ -264,4 +304,5 @@ class SearcHD(HDCClassifier):
                 updates += 1
         if updates:
             self._packed_am = None  # the packed mirror is stale now
+            self._pruned_am = None
         return updates

@@ -16,7 +16,7 @@ subcommands cover the everyday workflows:
 ``repro predict --dataset mnist --load mnist-memhd --engine packed``
     Serve the test split through the batched
     :class:`repro.runtime.InferencePipeline` with the selected similarity
-    engine (``float`` / ``packed`` / ``both``) and report accuracy and
+    engine (``float`` / ``packed`` / ``pruned`` / ``both``) and report accuracy and
     throughput.  With ``--load`` the model comes from a checkpoint (no
     retraining); without it the model is trained from scratch first.
 
@@ -242,8 +242,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_store_option(predict)
     predict.add_argument(
-        "--engine", default="packed", choices=("float", "packed", "both"),
-        help="similarity engine ('both' compares float vs packed)",
+        "--engine", default="packed",
+        choices=("float", "packed", "pruned", "both"),
+        help="similarity engine ('pruned' = centroid-pruned shortlist "
+        "search, bit-identical to the full scan; 'both' compares float "
+        "vs packed)",
+    )
+    predict.add_argument(
+        "--prune-topk", type=int, default=None, metavar="K",
+        help="shortlist width of the pruned engine (classes exactly "
+        "re-ranked per query; default: ceil(sqrt(classes)) heuristic)",
     )
     predict.add_argument(
         "--batch-size", type=int, default=1024,
@@ -280,9 +288,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="bind port (0 picks an ephemeral port)",
     )
     serve.add_argument(
-        "--engine", default="packed", choices=("float", "packed"),
+        "--engine", default="packed", choices=("float", "packed", "pruned"),
         help="similarity engine used for every request (packed = bit-packed "
-        "kernels, the fast path; float = dense reference)",
+        "kernels, the fast path; pruned = centroid-pruned shortlist search "
+        "on top of them, bit-identical; float = dense reference)",
+    )
+    serve.add_argument(
+        "--prune-topk", type=int, default=None, metavar="K",
+        help="shortlist width of the pruned engine (default: "
+        "ceil(sqrt(classes)) heuristic; only with --engine pruned)",
     )
     serve.add_argument(
         "--batch-size", type=int, default=1024,
@@ -478,7 +492,7 @@ def build_parser() -> argparse.ArgumentParser:
         )
         sub.add_argument(
             "--engines", type=_str_list, default=["float"],
-            help="similarity engines to time (float,packed)",
+            help="similarity engines to time (float,packed,pruned)",
         )
         sub.add_argument(
             "--cluster-ratios", type=_float_list, default=[0.8],
@@ -710,6 +724,10 @@ def cmd_predict(args: argparse.Namespace) -> int:
         model.fit(dataset.train_features, dataset.train_labels)
 
     engines = ("float", "packed") if args.engine == "both" else (args.engine,)
+    if args.prune_topk is not None and callable(
+        getattr(model, "configure_pruning", None)
+    ):
+        model.configure_pruning(args.prune_topk)
     try:
         labels, stats = throughput_comparison(
             model,
@@ -728,7 +746,11 @@ def cmd_predict(args: argparse.Namespace) -> int:
     rows = []
     for engine_stats in stats:
         row = engine_stats.as_dict()
-        row["backend"] = kernel_backend() if engine_stats.engine == "packed" else "blas"
+        row["backend"] = (
+            kernel_backend()
+            if engine_stats.engine in ("packed", "pruned")
+            else "blas"
+        )
         row["elapsed_ms"] = 1000.0 * row.pop("elapsed_s")
         row["accuracy_%"] = 100.0 * test_accuracy
         rows.append(row)
@@ -972,6 +994,7 @@ def _serve_prefork(args: argparse.Namespace, model, manifest, mapped: bool) -> i
         model=model,
         manifest=manifest,
         engine=args.engine,
+        prune_topk=args.prune_topk,
         chunk_size=args.batch_size,
         pipeline_threads=args.pipeline_threads,
         batching=not args.no_batching,
@@ -998,7 +1021,7 @@ def _serve_prefork(args: argparse.Namespace, model, manifest, mapped: bool) -> i
     served = ", ".join(args.models or ()) or args.load
     print(
         f"serving {served} on {supervisor.url} [engine={args.engine}, backend="
-        f"{kernel_backend() if args.engine == 'packed' else 'blas'}, "
+        f"{kernel_backend() if args.engine in ('packed', 'pruned') else 'blas'}, "
         f"workers={args.workers} ({supervisor.socket_mode}), "
         f"mapped={'on' if mapped else 'off'}, {_batching_summary(args)}]"
     )
@@ -1042,6 +1065,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         server = ModelServer(
             model,
             engine=args.engine,
+            prune_topk=args.prune_topk,
             chunk_size=args.batch_size,
             workers=args.pipeline_threads,
             manifest=manifest,
@@ -1064,7 +1088,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     )
     print(
         f"serving {served} on {server.url} [engine={args.engine}, backend="
-        f"{kernel_backend() if args.engine == 'packed' else 'blas'}, "
+        f"{kernel_backend() if args.engine in ('packed', 'pruned') else 'blas'}, "
         f"{_batching_summary(args)}]"
     )
     print(

@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.core.quantization import mean_threshold_binarize, normalize_rows
 from repro.hdc.packed import PackedAM
+from repro.hdc.pruned import PrunedAM
 from repro.hdc.similarity import dot_similarity
 
 
@@ -86,6 +87,9 @@ class MultiCentroidAM:
         self.normalization = normalization
         self.binary_memory = np.zeros_like(fp, dtype=np.int8)
         self._packed_am: Optional[PackedAM] = None
+        self._pruned_am: Optional[PrunedAM] = None
+        #: Shortlist width of the pruned engine (None = heuristic default).
+        self.prune_topk: Optional[int] = None
         self.refresh_binary()
 
     # ----------------------------------------------------------- properties
@@ -130,6 +134,25 @@ class MultiCentroidAM:
             )
         return self._packed_am
 
+    def pruned(self) -> PrunedAM:
+        """Centroid-pruned search index over the packed mirror (cached).
+
+        Screens queries against per-class centroid sketches and exactly
+        re-ranks only a shortlist; argmax-identical to the full scan (see
+        :class:`repro.hdc.pruned.PrunedAM`).  Shares the packed mirror's
+        storage, honours :attr:`prune_topk`, and is invalidated together
+        with it by :meth:`refresh_binary`.
+        """
+        if self._pruned_am is None:
+            self._pruned_am = PrunedAM(self.packed(), prune_topk=self.prune_topk)
+        return self._pruned_am
+
+    def configure_pruning(self, prune_topk: Optional[int]) -> None:
+        """Set the pruned engine's shortlist width (None = heuristic)."""
+        self.prune_topk = prune_topk
+        if self._pruned_am is not None:
+            self._pruned_am.prune_topk = prune_topk
+
     def scores(self, queries: np.ndarray, packed: bool = False) -> np.ndarray:
         """Dot similarity of binary queries against the binary AM.
 
@@ -157,14 +180,26 @@ class MultiCentroidAM:
             return self.packed().scores(arr)
         return dot_similarity(arr, self.binary_memory)
 
-    def predict_columns(self, queries: np.ndarray, packed: bool = False) -> np.ndarray:
-        """Index of the winning AM row for each query."""
+    def predict_columns(
+        self, queries: np.ndarray, packed: bool = False, pruned: bool = False
+    ) -> np.ndarray:
+        """Index of the winning AM row for each query.
+
+        ``pruned=True`` routes through the centroid-pruned shortlist
+        search (argmax-identical to the full scan by construction).
+        """
+        if pruned:
+            return self.pruned().predict_columns(np.asarray(queries))
         scores = np.atleast_2d(self.scores(queries, packed=packed))
         return np.argmax(scores, axis=1)
 
-    def predict(self, queries: np.ndarray, packed: bool = False) -> np.ndarray:
+    def predict(
+        self, queries: np.ndarray, packed: bool = False, pruned: bool = False
+    ) -> np.ndarray:
         """Predicted class labels (the class of the winning row)."""
-        return self.column_classes[self.predict_columns(queries, packed=packed)]
+        return self.column_classes[
+            self.predict_columns(queries, packed=packed, pruned=pruned)
+        ]
 
     def class_scores(self, queries: np.ndarray, packed: bool = False) -> np.ndarray:
         """Per-class score: the best similarity among each class's rows."""
@@ -181,6 +216,7 @@ class MultiCentroidAM:
         normalized = normalize_rows(self.fp_memory, self.normalization)
         self.binary_memory = mean_threshold_binarize(normalized, self.threshold_mode)
         self._packed_am = None
+        self._pruned_am = None
 
     def apply_updates(
         self,
@@ -266,6 +302,7 @@ class MultiCentroidAM:
             )
         am.binary_memory = binary
         am._packed_am = None
+        am._pruned_am = None
         return am
 
     # -------------------------------------------------------------- utility

@@ -44,6 +44,13 @@ def _use_packed(engine: str) -> bool:
     return engine == "packed"
 
 
+def _use_pruned(engine: str) -> bool:
+    """Validate an engine name and return whether it is the pruned one."""
+    if engine not in ENGINES:
+        raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
+    return engine == "pruned"
+
+
 class MEMHDModel(HDCClassifier):
     """Memory-efficient multi-centroid HDC classifier (the paper's model)."""
 
@@ -165,14 +172,18 @@ class MEMHDModel(HDCClassifier):
             ``(n, f)`` or ``(f,)`` raw feature vectors.
         engine:
             ``"float"`` evaluates similarities with the reference matmul
-            path; ``"packed"`` uses the bit-packed popcount engine.  Both
-            produce bit-identical predictions.
+            path; ``"packed"`` uses the bit-packed popcount engine;
+            ``"pruned"`` adds centroid-pruned shortlist search on top of
+            the packed kernels.  All three produce bit-identical
+            predictions.
         """
         am = self._require_am()
         encoded = self.encode_binary(np.asarray(features, dtype=np.float64))
         if encoded.ndim == 1:
             encoded = encoded[None, :]
-        return am.predict(encoded, packed=_use_packed(engine))
+        return am.predict(
+            encoded, packed=_use_packed(engine), pruned=_use_pruned(engine)
+        )
 
     def memory_report(self) -> MemoryReport:
         """Table I breakdown: ``f*D`` encoder bits plus ``C*D`` AM bits."""
@@ -217,24 +228,44 @@ class MEMHDModel(HDCClassifier):
         return self.encoder.projection_binary
 
     def class_scores(self, features: np.ndarray, engine: str = "float") -> np.ndarray:
-        """Per-class best-centroid similarity scores for raw features."""
+        """Per-class best-centroid similarity scores for raw features.
+
+        Pruning only accelerates the argmax, so ``engine="pruned"``
+        evaluates full per-class scores through the packed engine.
+        """
         am = self._require_am()
         encoded = self.encode_binary(np.asarray(features, dtype=np.float64))
         if encoded.ndim == 1:
             encoded = encoded[None, :]
-        return am.class_scores(encoded, packed=_use_packed(engine))
+        packed = _use_packed(engine) or _use_pruned(engine)
+        return am.class_scores(encoded, packed=packed)
 
     def prepare_engine(self, engine: str = "float") -> None:
         """Build engine state ahead of serving (pipeline warm-up hook).
 
         For the packed engine this packs the binary AM into ``uint64``
-        words; the encoder's projection matrix is materialized in both
-        cases so the first served chunk pays no lazy-initialization cost.
+        words; for the pruned engine it additionally builds the per-class
+        centroid sketches.  The encoder's projection matrix is
+        materialized in every case so the first served chunk pays no
+        lazy-initialization cost.
         """
         am = self._require_am()
         _ = self.encoder.projection  # encoder state is eager; touch it anyway
         if _use_packed(engine):
             am.packed()
+        elif _use_pruned(engine):
+            am.pruned()
+
+    def configure_pruning(self, prune_topk: Optional[int]) -> None:
+        """Set the pruned engine's shortlist width (None = heuristic)."""
+        self._require_am().configure_pruning(prune_topk)
+
+    def prune_stats(self) -> Optional[Dict[str, float]]:
+        """Prune counters of the pruned engine (None before it is built)."""
+        am = self._am
+        if am is None or am._pruned_am is None:
+            return None
+        return am._pruned_am.stats()
 
     def make_pipeline(
         self,

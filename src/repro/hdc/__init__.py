@@ -17,6 +17,9 @@ reproduction rests on:
 * :mod:`repro.hdc.packed` -- bit-packed (``uint64``-word) hypervectors and
   the popcount similarity engine behind every ``packed=True`` /
   ``engine="packed"`` fast path in the library.
+* :mod:`repro.hdc.pruned` -- centroid-pruned shortlist search over the
+  packed engine (the ``engine="pruned"`` sublinear hot path), exact by
+  construction.
 """
 
 from repro.hdc.hypervector import (
@@ -40,6 +43,7 @@ from repro.hdc.similarity import (
     hamming_distance,
     hamming_similarity,
     pairwise_dot,
+    pruned_top1,
     top1,
 )
 from repro.hdc.encoders import (
@@ -62,6 +66,10 @@ from repro.hdc.packed import (
     packed_dot_similarity,
     packed_hamming_distance,
     words_per_vector,
+)
+from repro.hdc.pruned import (
+    PrunedAM,
+    default_prune_topk,
 )
 from repro.hdc.memory_model import (
     MemoryReport,
@@ -92,6 +100,7 @@ __all__ = [
     "hamming_distance",
     "hamming_similarity",
     "pairwise_dot",
+    "pruned_top1",
     "top1",
     "Encoder",
     "RandomProjectionEncoder",
@@ -108,6 +117,8 @@ __all__ = [
     "packed_dot_similarity",
     "packed_hamming_distance",
     "words_per_vector",
+    "PrunedAM",
+    "default_prune_topk",
     "MemoryReport",
     "bits_to_kib",
     "projection_encoder_bits",

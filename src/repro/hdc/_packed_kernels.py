@@ -9,19 +9,37 @@ Two interchangeable backends compute the ``(n, m)`` pair matrix of
     Always available; used as the correctness reference.
 
 ``native``
-    A ~30-line C kernel compiled on first use with the system C compiler
+    A small C kernel compiled on first use with the system C compiler
     (``cc``/``gcc``) and loaded through :mod:`ctypes`.  On a typical x86-64
     host the hardware ``popcnt`` path is an order of magnitude faster than
     the blocked numpy kernel because the ``(n, m, W)`` AND/XOR intermediate
-    never materializes.  Compilation happens once per machine into a
-    content-addressed cache directory under the system temp dir; any
-    failure (no compiler, sandboxed filesystem, exotic platform) silently
-    falls back to the numpy backend.
+    never materializes.  The build probes a ladder of compiler-flag tiers
+    (``-march=native`` then ``-mavx2`` then portable ``-O3``), scores the
+    AM in cache-blocked tiles so a reference tile stays resident across
+    query rows, and can partition query rows over POSIX threads.
+    Compilation happens once per machine into a content-addressed cache
+    directory under the system temp dir; any failure (no compiler,
+    sandboxed filesystem, exotic platform) silently falls back to the
+    numpy backend.
 
-The active backend is chosen automatically, can be pinned with the
-``REPRO_PACKED_BACKEND`` environment variable (``auto`` / ``native`` /
-``numpy``) and can be switched at runtime with :func:`set_backend` (used by
-the equivalence tests to compare both backends).
+Environment knobs
+-----------------
+``REPRO_PACKED_BACKEND``
+    ``auto`` (default) / ``native`` / ``numpy``: backend selection.
+``REPRO_PACKED_TIER``
+    ``auto`` (default) probes ``native`` -> ``avx2`` -> ``portable`` in
+    order; naming a tier pins it (falling back to numpy if that tier does
+    not compile).
+``REPRO_PACKED_THREADS``
+    Worker threads for the native kernel: a positive integer, or ``auto``
+    / ``0`` for the CPU count.  Default 1.  Threads partition disjoint
+    query rows, so results are bit-identical at any thread count; the
+    numpy backend ignores this knob.
+
+The active backend can also be switched at runtime with
+:func:`set_backend` (used by the equivalence tests to compare backends),
+and :func:`reset_native_cache` drops the loaded library so a changed
+``CC`` / ``REPRO_PACKED_TIER`` is honoured by the next call.
 """
 
 from __future__ import annotations
@@ -34,7 +52,7 @@ import subprocess
 import sys
 import tempfile
 import threading
-from typing import Callable, Optional
+from typing import Callable, Dict, Optional
 
 import numpy as np
 
@@ -42,43 +60,232 @@ import numpy as np
 #: intermediate (block * m * W words) stays cache-resident for typical AMs.
 _NUMPY_BLOCK_ROWS = 16
 
+#: Compiler-flag tiers probed in order under ``REPRO_PACKED_TIER=auto``.
+TIERS = ("native", "avx2", "portable")
+
+_TIER_FLAGS = {
+    "native": ["-march=native"],
+    "avx2": ["-mavx2"],
+    "portable": [],
+}
+
 _C_SOURCE = r"""
 #include <stdint.h>
 #include <stddef.h>
+#include <pthread.h>
 
-void and_popcount(const uint64_t* q, const uint64_t* r, int64_t* out,
-                  size_t n, size_t m, size_t words) {
-    for (size_t i = 0; i < n; ++i) {
-        const uint64_t* qi = q + i * words;
-        for (size_t j = 0; j < m; ++j) {
-            const uint64_t* rj = r + j * words;
-            uint64_t acc = 0;
-            for (size_t w = 0; w < words; ++w)
-                acc += (uint64_t)__builtin_popcountll(qi[w] & rj[w]);
-            out[i * m + j] = (int64_t)acc;
+/* AM rows per tile: one tile of reference vectors stays hot in L1/L2
+ * while every query row of the chunk streams over it. */
+#define TILE_ROWS 16
+#define MAX_THREADS 64
+
+enum { OP_AND = 0, OP_XOR = 1 };
+
+static void score_rows(const uint64_t* q, const uint64_t* r, int64_t* out,
+                       size_t row_start, size_t row_stop, size_t m,
+                       size_t words, int op) {
+    for (size_t j0 = 0; j0 < m; j0 += TILE_ROWS) {
+        size_t j1 = j0 + TILE_ROWS < m ? j0 + TILE_ROWS : m;
+        for (size_t i = row_start; i < row_stop; ++i) {
+            const uint64_t* qi = q + i * words;
+            int64_t* oi = out + i * m;
+            for (size_t j = j0; j < j1; ++j) {
+                const uint64_t* rj = r + j * words;
+                uint64_t acc = 0;
+                if (op == OP_AND) {
+                    for (size_t w = 0; w < words; ++w)
+                        acc += (uint64_t)__builtin_popcountll(qi[w] & rj[w]);
+                } else {
+                    for (size_t w = 0; w < words; ++w)
+                        acc += (uint64_t)__builtin_popcountll(qi[w] ^ rj[w]);
+                }
+                oi[j] = (int64_t)acc;
+            }
         }
     }
+}
+
+typedef struct {
+    const uint64_t* q;
+    const uint64_t* r;
+    int64_t* out;
+    size_t row_start;
+    size_t row_stop;
+    size_t m;
+    size_t words;
+    int op;
+} job_t;
+
+static void* run_job(void* arg) {
+    job_t* job = (job_t*)arg;
+    score_rows(job->q, job->r, job->out, job->row_start, job->row_stop,
+               job->m, job->words, job->op);
+    return NULL;
+}
+
+/* Threads own disjoint slices of query rows (disjoint output rows), so no
+ * synchronization is needed and the result is identical at any count. */
+void pair_popcount(const uint64_t* q, const uint64_t* r, int64_t* out,
+                   size_t n, size_t m, size_t words, int op, int threads) {
+    if (threads > MAX_THREADS) threads = MAX_THREADS;
+    if ((size_t)threads > n) threads = (int)n;
+    if (threads < 2) {
+        score_rows(q, r, out, 0, n, m, words, op);
+        return;
+    }
+    pthread_t ids[MAX_THREADS];
+    job_t jobs[MAX_THREADS];
+    int spawned = 0;
+    size_t chunk = (n + (size_t)threads - 1) / (size_t)threads;
+    for (int t = 1; t < threads; ++t) {
+        size_t start = (size_t)t * chunk;
+        if (start >= n) break;
+        size_t stop = start + chunk < n ? start + chunk : n;
+        jobs[spawned].q = q;
+        jobs[spawned].r = r;
+        jobs[spawned].out = out;
+        jobs[spawned].row_start = start;
+        jobs[spawned].row_stop = stop;
+        jobs[spawned].m = m;
+        jobs[spawned].words = words;
+        jobs[spawned].op = op;
+        if (pthread_create(&ids[spawned], NULL, run_job, &jobs[spawned]) != 0) {
+            /* Creation failed: run this slice inline instead. */
+            run_job(&jobs[spawned]);
+            continue;
+        }
+        ++spawned;
+    }
+    score_rows(q, r, out, 0, chunk < n ? chunk : n, m, words, op);
+    for (int t = 0; t < spawned; ++t)
+        pthread_join(ids[t], NULL);
+}
+
+/* Legacy single-threaded entry points kept for ABI stability. */
+void and_popcount(const uint64_t* q, const uint64_t* r, int64_t* out,
+                  size_t n, size_t m, size_t words) {
+    pair_popcount(q, r, out, n, m, words, OP_AND, 1);
 }
 
 void xor_popcount(const uint64_t* q, const uint64_t* r, int64_t* out,
                   size_t n, size_t m, size_t words) {
-    for (size_t i = 0; i < n; ++i) {
+    pair_popcount(q, r, out, n, m, words, OP_XOR, 1);
+}
+
+/* Shortlist re-rank for the pruned engine: each query scores only the row
+ * groups named by its CSR candidate list and keeps the running best
+ * (metric, original row) pair.  The metric is popcount(q AND r) for OP_AND
+ * and -popcount(q XOR r) for OP_XOR, so "bigger metric wins, equal metric
+ * and lower original row wins" reproduces the full scan's argmax tie rule
+ * in both alphabets. */
+static void sparse_scan_rows(const uint64_t* q, const uint64_t* r,
+                             const int64_t* group_start,
+                             const int64_t* orig_row,
+                             const int64_t* list_start,
+                             const int64_t* list_groups,
+                             int64_t* best_metric, int64_t* best_row,
+                             size_t row_begin, size_t row_end,
+                             size_t words, int op) {
+    for (size_t i = row_begin; i < row_end; ++i) {
         const uint64_t* qi = q + i * words;
-        for (size_t j = 0; j < m; ++j) {
-            const uint64_t* rj = r + j * words;
-            uint64_t acc = 0;
-            for (size_t w = 0; w < words; ++w)
-                acc += (uint64_t)__builtin_popcountll(qi[w] ^ rj[w]);
-            out[i * m + j] = (int64_t)acc;
+        int64_t bm = best_metric[i];
+        int64_t br = best_row[i];
+        for (int64_t p = list_start[i]; p < list_start[i + 1]; ++p) {
+            int64_t g = list_groups[p];
+            for (int64_t j = group_start[g]; j < group_start[g + 1]; ++j) {
+                const uint64_t* rj = r + (size_t)j * words;
+                uint64_t acc = 0;
+                if (op == OP_AND) {
+                    for (size_t w = 0; w < words; ++w)
+                        acc += (uint64_t)__builtin_popcountll(qi[w] & rj[w]);
+                } else {
+                    for (size_t w = 0; w < words; ++w)
+                        acc += (uint64_t)__builtin_popcountll(qi[w] ^ rj[w]);
+                }
+                int64_t metric = (op == OP_AND) ? (int64_t)acc : -(int64_t)acc;
+                int64_t row = orig_row[j];
+                if (metric > bm || (metric == bm && row < br)) {
+                    bm = metric;
+                    br = row;
+                }
+            }
         }
+        best_metric[i] = bm;
+        best_row[i] = br;
     }
 }
+
+typedef struct {
+    const uint64_t* q;
+    const uint64_t* r;
+    const int64_t* group_start;
+    const int64_t* orig_row;
+    const int64_t* list_start;
+    const int64_t* list_groups;
+    int64_t* best_metric;
+    int64_t* best_row;
+    size_t row_begin;
+    size_t row_end;
+    size_t words;
+    int op;
+} sparse_job_t;
+
+static void* run_sparse_job(void* arg) {
+    sparse_job_t* job = (sparse_job_t*)arg;
+    sparse_scan_rows(job->q, job->r, job->group_start, job->orig_row,
+                     job->list_start, job->list_groups, job->best_metric,
+                     job->best_row, job->row_begin, job->row_end, job->words,
+                     job->op);
+    return NULL;
+}
+
+void sparse_scan(const uint64_t* q, const uint64_t* r,
+                 const int64_t* group_start, const int64_t* orig_row,
+                 const int64_t* list_start, const int64_t* list_groups,
+                 int64_t* best_metric, int64_t* best_row,
+                 size_t n, size_t words, int op, int threads) {
+    if (threads > MAX_THREADS) threads = MAX_THREADS;
+    if ((size_t)threads > n) threads = (int)n;
+    if (threads < 2) {
+        sparse_scan_rows(q, r, group_start, orig_row, list_start, list_groups,
+                         best_metric, best_row, 0, n, words, op);
+        return;
+    }
+    pthread_t ids[MAX_THREADS];
+    sparse_job_t jobs[MAX_THREADS];
+    int spawned = 0;
+    size_t chunk = (n + (size_t)threads - 1) / (size_t)threads;
+    for (int t = 1; t < threads; ++t) {
+        size_t start = (size_t)t * chunk;
+        if (start >= n) break;
+        size_t stop = start + chunk < n ? start + chunk : n;
+        jobs[spawned] = (sparse_job_t){q, r, group_start, orig_row, list_start,
+                                       list_groups, best_metric, best_row,
+                                       start, stop, words, op};
+        if (pthread_create(&ids[spawned], NULL, run_sparse_job,
+                           &jobs[spawned]) != 0) {
+            run_sparse_job(&jobs[spawned]);
+            continue;
+        }
+        ++spawned;
+    }
+    sparse_scan_rows(q, r, group_start, orig_row, list_start, list_groups,
+                     best_metric, best_row, 0, chunk < n ? chunk : n, words,
+                     op);
+    for (int t = 0; t < spawned; ++t)
+        pthread_join(ids[t], NULL);
+}
 """
+
+#: ``op`` codes shared with the C kernels.
+OP_AND = 0
+OP_XOR = 1
 
 _lock = threading.Lock()
 _native_lib: Optional[ctypes.CDLL] = None
 _native_attempted = False
 _forced_backend: Optional[str] = None
+_build_info: Optional[Dict[str, str]] = None
 
 
 def _env_backend() -> str:
@@ -88,6 +295,31 @@ def _env_backend() -> str:
             f"REPRO_PACKED_BACKEND must be auto, native or numpy, got {value!r}"
         )
     return value
+
+
+def _env_tier() -> str:
+    value = os.environ.get("REPRO_PACKED_TIER", "auto").strip().lower()
+    if value != "auto" and value not in TIERS:
+        choices = ", ".join(("auto",) + TIERS)
+        raise ValueError(f"REPRO_PACKED_TIER must be one of {choices}, got {value!r}")
+    return value
+
+
+def _env_threads() -> int:
+    value = os.environ.get("REPRO_PACKED_THREADS", "").strip().lower()
+    if value in ("", "1"):
+        return 1
+    if value in ("auto", "0"):
+        return os.cpu_count() or 1
+    try:
+        threads = int(value)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_PACKED_THREADS must be a positive integer or 'auto', got {value!r}"
+        ) from None
+    if threads < 1:
+        raise ValueError(f"REPRO_PACKED_THREADS must be >= 1, got {threads}")
+    return threads
 
 
 def set_backend(backend: Optional[str]) -> None:
@@ -122,18 +354,41 @@ def backend_name() -> str:
     return "native"
 
 
+def native_build_info() -> Optional[Dict[str, str]]:
+    """Tier / compiler / library of the loaded native kernel (None if absent).
+
+    Triggers a build attempt if none has happened yet, so callers see the
+    same answer the next kernel call would.
+    """
+    if _load_native() is None:
+        return None
+    assert _build_info is not None
+    return dict(_build_info)
+
+
+def reset_native_cache() -> None:
+    """Forget the loaded native library so the next call re-probes.
+
+    The on-disk compile cache is content-addressed and survives; this only
+    clears the in-process state, letting tests (and operators) change
+    ``CC`` / ``REPRO_PACKED_TIER`` and have it take effect.
+    """
+    global _native_lib, _native_attempted, _build_info
+    with _lock:
+        _native_lib = None
+        _native_attempted = False
+        _build_info = None
+
+
 # --------------------------------------------------------------- native build
 def _cache_dir(digest: str) -> str:
     tag = f"repro-packed-{digest[:16]}-py{sys.version_info[0]}{sys.version_info[1]}"
     return os.path.join(tempfile.gettempdir(), tag)
 
 
-def _compile_native() -> Optional[str]:
-    """Compile the C kernels into a cached shared object; None on failure."""
-    compiler = os.environ.get("CC") or shutil.which("cc") or shutil.which("gcc")
-    if compiler is None:
-        return None
-    digest = hashlib.sha256((_C_SOURCE + compiler).encode()).hexdigest()
+def _compile_tier(compiler: str, tier: str) -> Optional[str]:
+    """Compile one flag tier into its cached shared object; None on failure."""
+    digest = hashlib.sha256((_C_SOURCE + compiler + tier).encode()).hexdigest()
     directory = _cache_dir(digest)
     library = os.path.join(directory, "kernels.so")
     if os.path.exists(library):
@@ -143,33 +398,45 @@ def _compile_native() -> Optional[str]:
         source = os.path.join(directory, "kernels.c")
         with open(source, "w") as handle:
             handle.write(_C_SOURCE)
-        for extra in (["-march=native"], []):  # fall back if -march is rejected
-            scratch = library + f".tmp{os.getpid()}"
-            command = [
-                compiler,
-                "-O3",
-                "-funroll-loops",
-                "-shared",
-                "-fPIC",
-                *extra,
-                "-o",
-                scratch,
-                source,
-            ]
-            result = subprocess.run(
-                command, capture_output=True, timeout=120, check=False
-            )
-            if result.returncode == 0:
-                os.replace(scratch, library)  # atomic against concurrent builds
-                return library
+        scratch = library + f".tmp{os.getpid()}"
+        command = [
+            compiler,
+            "-O3",
+            "-funroll-loops",
+            "-shared",
+            "-fPIC",
+            "-pthread",
+            *_TIER_FLAGS[tier],
+            "-o",
+            scratch,
+            source,
+        ]
+        result = subprocess.run(command, capture_output=True, timeout=120, check=False)
+        if result.returncode == 0:
+            os.replace(scratch, library)  # atomic against concurrent builds
+            return library
         return None
     except (OSError, subprocess.SubprocessError):
         return None
 
 
+def _compile_native() -> Optional[Dict[str, str]]:
+    """Compile the first tier that works; returns build info or None."""
+    compiler = os.environ.get("CC") or shutil.which("cc") or shutil.which("gcc")
+    if compiler is None:
+        return None
+    env_tier = _env_tier()
+    tiers = TIERS if env_tier == "auto" else (env_tier,)
+    for tier in tiers:
+        library = _compile_tier(compiler, tier)
+        if library is not None:
+            return {"tier": tier, "compiler": compiler, "library": library}
+    return None
+
+
 def _load_native() -> Optional[ctypes.CDLL]:
     """Load (building if needed) the native kernel library; None on failure."""
-    global _native_lib, _native_attempted
+    global _native_lib, _native_attempted, _build_info
     if _native_lib is not None:
         return _native_lib
     if _native_attempted:
@@ -178,20 +445,38 @@ def _load_native() -> Optional[ctypes.CDLL]:
         if _native_lib is not None or _native_attempted:
             return _native_lib
         _native_attempted = True
-        library = _compile_native()
-        if library is None:
+        info = _compile_native()
+        if info is None:
             return None
         try:
-            lib = ctypes.CDLL(library)
+            lib = ctypes.CDLL(info["library"])
         except OSError:
             return None
         u64 = ctypes.POINTER(ctypes.c_uint64)
         i64 = ctypes.POINTER(ctypes.c_int64)
         size_t = ctypes.c_size_t
-        for name in ("and_popcount", "xor_popcount"):
-            fn = getattr(lib, name)
-            fn.argtypes = [u64, u64, i64, size_t, size_t, size_t]
-            fn.restype = None
+        fn = lib.pair_popcount
+        fn.argtypes = [
+            u64, u64, i64, size_t, size_t, size_t, ctypes.c_int, ctypes.c_int
+        ]
+        fn.restype = None
+        fn = lib.sparse_scan
+        fn.argtypes = [
+            u64,
+            u64,
+            i64,
+            i64,
+            i64,
+            i64,
+            i64,
+            i64,
+            size_t,
+            size_t,
+            ctypes.c_int,
+            ctypes.c_int,
+        ]
+        fn.restype = None
+        _build_info = info
         _native_lib = lib
     return _native_lib
 
@@ -209,7 +494,7 @@ def _check_operands(queries: np.ndarray, references: np.ndarray) -> None:
 
 
 def _native_pair_popcount(
-    queries: np.ndarray, references: np.ndarray, symbol: str
+    queries: np.ndarray, references: np.ndarray, op: int, threads: int
 ) -> np.ndarray:
     lib = _load_native()
     assert lib is not None
@@ -218,13 +503,15 @@ def _native_pair_popcount(
     out = np.empty((q.shape[0], r.shape[0]), dtype=np.int64)
     u64 = ctypes.POINTER(ctypes.c_uint64)
     i64 = ctypes.POINTER(ctypes.c_int64)
-    getattr(lib, symbol)(
+    lib.pair_popcount(
         q.ctypes.data_as(u64),
         r.ctypes.data_as(u64),
         out.ctypes.data_as(i64),
         q.shape[0],
         r.shape[0],
         q.shape[1],
+        op,
+        threads,
     )
     return out
 
@@ -242,17 +529,78 @@ def _numpy_pair_popcount(
     return out
 
 
-def and_popcount(queries: np.ndarray, references: np.ndarray) -> np.ndarray:
+def and_popcount(
+    queries: np.ndarray, references: np.ndarray, threads: Optional[int] = None
+) -> np.ndarray:
     """``out[i, j] = popcount(queries[i] AND references[j])`` over words."""
     _check_operands(queries, references)
     if backend_name() == "native":
-        return _native_pair_popcount(queries, references, "and_popcount")
+        resolved = _env_threads() if threads is None else max(1, int(threads))
+        return _native_pair_popcount(queries, references, OP_AND, resolved)
     return _numpy_pair_popcount(queries, references, np.bitwise_and)
 
 
-def xor_popcount(queries: np.ndarray, references: np.ndarray) -> np.ndarray:
+def xor_popcount(
+    queries: np.ndarray, references: np.ndarray, threads: Optional[int] = None
+) -> np.ndarray:
     """``out[i, j] = popcount(queries[i] XOR references[j])`` over words."""
     _check_operands(queries, references)
     if backend_name() == "native":
-        return _native_pair_popcount(queries, references, "xor_popcount")
+        resolved = _env_threads() if threads is None else max(1, int(threads))
+        return _native_pair_popcount(queries, references, OP_XOR, resolved)
     return _numpy_pair_popcount(queries, references, np.bitwise_xor)
+
+
+def sparse_scan_available() -> bool:
+    """Whether the native CSR shortlist kernel will be used."""
+    return backend_name() == "native"
+
+
+def sparse_scan(
+    queries: np.ndarray,
+    references: np.ndarray,
+    group_start: np.ndarray,
+    orig_row: np.ndarray,
+    list_start: np.ndarray,
+    list_groups: np.ndarray,
+    best_metric: np.ndarray,
+    best_row: np.ndarray,
+    op: int,
+    threads: Optional[int] = None,
+) -> None:
+    """CSR shortlist re-rank (native backend only; see the C kernel).
+
+    Query ``i`` exactly scores the rows of every group in
+    ``list_groups[list_start[i]:list_start[i + 1]]`` (rows of group ``g``
+    are ``references[group_start[g]:group_start[g + 1]]``, with original
+    row ids in ``orig_row``) and folds the result into the running
+    ``(best_metric, best_row)`` pair in place.  The metric is
+    ``popcount(q AND r)`` for ``op`` :data:`OP_AND` and
+    ``-popcount(q XOR r)`` for :data:`OP_XOR`, so higher metric -- equal
+    metric, lower original row -- matches the full scan's argmax.
+
+    Callers must check :func:`sparse_scan_available` first; the numpy
+    backend has no CSR kernel (the pruned engine keeps a pure-numpy
+    re-rank loop as its correctness reference).
+    """
+    lib = _load_native()
+    if lib is None or backend_name() != "native":
+        raise RuntimeError("sparse_scan requires the native kernel backend")
+    _check_operands(queries, references)
+    resolved = _env_threads() if threads is None else max(1, int(threads))
+    u64 = ctypes.POINTER(ctypes.c_uint64)
+    i64 = ctypes.POINTER(ctypes.c_int64)
+    lib.sparse_scan(
+        np.ascontiguousarray(queries).ctypes.data_as(u64),
+        np.ascontiguousarray(references).ctypes.data_as(u64),
+        np.ascontiguousarray(group_start, dtype=np.int64).ctypes.data_as(i64),
+        np.ascontiguousarray(orig_row, dtype=np.int64).ctypes.data_as(i64),
+        np.ascontiguousarray(list_start, dtype=np.int64).ctypes.data_as(i64),
+        np.ascontiguousarray(list_groups, dtype=np.int64).ctypes.data_as(i64),
+        best_metric.ctypes.data_as(i64),
+        best_row.ctypes.data_as(i64),
+        queries.shape[0],
+        queries.shape[1],
+        op,
+        resolved,
+    )

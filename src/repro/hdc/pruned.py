@@ -1,0 +1,389 @@
+"""Centroid-pruned associative search: coarse screen, exact re-rank.
+
+Full-scan associative search scores every stored row of the AM for every
+query.  :class:`PrunedAM` wraps a :class:`~repro.hdc.packed.PackedAM` with
+a coarse-to-fine scorer that is **argmax-identical** to the full scan --
+including the full scan's lowest-row-index tie-break -- while scoring only
+a shortlist of candidate classes on most queries:
+
+1. **Screen.**  Each query is compared (one packed XOR/popcount call)
+   against a per-class *sketch*: the bitwise majority vote of the class's
+   stored rows.  The triangle inequality on Hamming distance turns each
+   sketch distance into a certified upper bound on the best dot score any
+   row of that class can achieve:
+
+   * bipolar: ``dot(q, r) = D - 2 * ham(q, r)`` and
+     ``ham(q, r) >= ham(q, c) - radius_c`` with
+     ``radius_c = max_r ham(c, r)``, so
+     ``dot <= D - 2 * max(0, ham(q, c) - radius_c)``;
+   * binary: ``dot(q, r) = (pop(q) + pop(r) - ham(q, r)) / 2``, so
+     ``dot <= floor((pop(q) - ham(q, c) + slack_c) / 2)`` with
+     ``slack_c = max_r (pop(r) + ham(c, r))``.
+
+2. **Shortlist.**  The ``prune_topk`` classes with the highest upper
+   bounds are re-ranked *exactly* with the packed kernels, maintaining the
+   running best ``(score, row)`` under the same tie rule as
+   ``np.argmax`` (higher score wins; equal score, lower row index wins).
+
+3. **Escape hatch.**  Any class left out of the shortlist whose upper
+   bound still reaches the running best (``bound >= best``, ``>=`` so
+   exact ties can never be lost) is ambiguous: those classes are scored
+   exactly in a second pass, unless they cover so much of the AM that a
+   plain full scan is cheaper -- then the query falls back to the full
+   scan.  Either way, a class is skipped only when its certified bound is
+   *strictly below* an exactly-achieved score, so the winner (and the
+   tie-break) is identical to the full scan by construction.
+
+The screen is one ``(n, k)`` popcount against ``k`` sketches instead of an
+``(n, C)`` scan over ``C`` rows, so with ``C >> k`` (multi-centroid AMs)
+the hot path does a fraction of the full-scan work.  Degenerate layouts
+(one row per class, a single class) stay exact -- the shortlist simply
+covers everything.
+
+Per-instance counters (queries, shortlist hits, widened queries, full-scan
+fallbacks, rows scored) feed the serving ``/stats`` endpoint; see
+:meth:`PrunedAM.stats`.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.hdc import _packed_kernels as _kernels
+from repro.hdc.packed import (
+    BIPOLAR_ALPHABET,
+    PackedAM,
+    PackedVectors,
+    _pack_bits,
+)
+
+#: Queries whose ambiguous classes cover at least this fraction of the AM's
+#: rows fall back to a plain full scan (default; per-instance override).
+DEFAULT_FALLBACK_FRACTION = 0.5
+
+
+def default_prune_topk(num_groups: int) -> int:
+    """Shortlist width used when the caller does not pin ``prune_topk``.
+
+    ``ceil(sqrt(k))`` balances screen cost (k sketches) against re-rank
+    cost for typical multi-centroid layouts; tiny ``k`` degrades to a full
+    shortlist, which is simply the exact full scan.
+    """
+    if num_groups <= 0:
+        raise ValueError(f"num_groups must be positive, got {num_groups}")
+    return max(1, int(np.ceil(np.sqrt(num_groups))))
+
+
+class PrunedAM:
+    """Exact coarse-to-fine search over a :class:`PackedAM`.
+
+    Parameters
+    ----------
+    base:
+        The packed AM to accelerate.  Its ``column_classes`` define the
+        pruning groups (one sketch per distinct class).
+    prune_topk:
+        Shortlist width (classes re-ranked exactly per query).  ``None``
+        uses :func:`default_prune_topk`; values above the class count are
+        clamped (and make the search an exact full re-rank).
+    fallback_fraction:
+        Queries whose ambiguous classes cover at least this fraction of
+        the AM's rows are answered by a plain full scan instead of a
+        second shortlist pass.
+    """
+
+    def __init__(
+        self,
+        base: PackedAM,
+        prune_topk: Optional[int] = None,
+        fallback_fraction: float = DEFAULT_FALLBACK_FRACTION,
+    ) -> None:
+        if base.num_columns == 0:
+            raise ValueError("cannot build a pruned index over an empty AM")
+        if not 0.0 < fallback_fraction <= 1.0:
+            raise ValueError(
+                f"fallback_fraction must be in (0, 1], got {fallback_fraction}"
+            )
+        self.base = base
+        self.fallback_fraction = float(fallback_fraction)
+        self._labels = np.unique(base.column_classes)
+        self._group_rows: List[np.ndarray] = [
+            np.flatnonzero(base.column_classes == label) for label in self._labels
+        ]
+        self.prune_topk = prune_topk
+        self._stats_lock = threading.Lock()
+        self._counters = {
+            "queries": 0,
+            "shortlist_hits": 0,
+            "widened": 0,
+            "fallbacks": 0,
+            "rows_scored": 0,
+            "rows_full_scan": 0,
+        }
+        self._build_sketches()
+
+    # ------------------------------------------------------------- building
+    def _build_sketches(self) -> None:
+        memory = self.base.memory
+        dimension = memory.dimension
+        bits = np.unpackbits(memory.words.view(np.uint8), axis=-1, bitorder="little")
+        bits = bits[:, :dimension]
+        sketch_bits = np.empty((self.num_groups, dimension), dtype=np.uint8)
+        for index, rows in enumerate(self._group_rows):
+            ones = bits[rows].sum(axis=0, dtype=np.int64)
+            # Majority vote; even splits round to bit 1.  The tie rule only
+            # affects bound tightness, never correctness.
+            sketch_bits[index] = (2 * ones >= rows.size).astype(np.uint8)
+        self._sketch_words = np.ascontiguousarray(
+            _pack_bits(sketch_bits, dimension, memory.alphabet).words
+        )
+        # Certified per-class slacks, computed with the packed kernels.
+        hamming = _kernels.xor_popcount(self._sketch_words, memory.words)
+        pop_rows = np.bitwise_count(memory.words).sum(axis=1).astype(np.int64)
+        self._radius = np.empty(self.num_groups, dtype=np.int64)
+        self._slack = np.empty(self.num_groups, dtype=np.int64)
+        for index, rows in enumerate(self._group_rows):
+            self._radius[index] = hamming[index, rows].max()
+            self._slack[index] = (pop_rows[rows] + hamming[index, rows]).max()
+        self._group_sizes = np.array(
+            [rows.size for rows in self._group_rows], dtype=np.int64
+        )
+        # Contiguous per-class row blocks so the re-rank kernels read each
+        # class without re-gathering strided rows on every query batch,
+        # plus the CSR layout the native shortlist kernel walks: rows
+        # sorted by class with offsets and original row ids alongside.
+        self._group_words = [
+            np.ascontiguousarray(memory.words[rows]) for rows in self._group_rows
+        ]
+        self._sorted_words = np.ascontiguousarray(np.concatenate(self._group_words))
+        self._group_start = np.zeros(self.num_groups + 1, dtype=np.int64)
+        np.cumsum(self._group_sizes, out=self._group_start[1:])
+        self._orig_row = np.concatenate(self._group_rows).astype(np.int64)
+
+    # ----------------------------------------------------------- properties
+    @property
+    def num_groups(self) -> int:
+        """Number of distinct classes (= sketches) in the index."""
+        return len(self._group_rows)
+
+    @property
+    def num_columns(self) -> int:
+        """Number of stored rows ``C`` of the underlying AM."""
+        return self.base.num_columns
+
+    @property
+    def dimension(self) -> int:
+        """Hypervector dimensionality ``D``."""
+        return self.base.dimension
+
+    @property
+    def column_classes(self) -> np.ndarray:
+        """Class of each stored row (shared with the base AM)."""
+        return self.base.column_classes
+
+    @property
+    def num_classes(self) -> int:
+        """Total class count of the underlying AM."""
+        return self.base.num_classes
+
+    def effective_topk(self) -> int:
+        """The shortlist width the next query will use."""
+        if self.prune_topk is not None:
+            if self.prune_topk < 1:
+                raise ValueError(f"prune_topk must be >= 1, got {self.prune_topk}")
+            return min(int(self.prune_topk), self.num_groups)
+        return min(default_prune_topk(self.num_groups), self.num_groups)
+
+    def memory_bytes(self) -> int:
+        """Extra bytes of pruning metadata (sketches + per-class slacks)."""
+        return int(
+            self._sketch_words.nbytes
+            + self._radius.nbytes
+            + self._slack.nbytes
+            + self._group_sizes.nbytes
+        )
+
+    # -------------------------------------------------------------- scoring
+    #
+    # All comparisons happen in *metric* space: popcount(q AND r) for the
+    # binary alphabet and -popcount(q XOR r) for bipolar.  Both are
+    # monotone images of the dot score (binary: dot = metric; bipolar:
+    # dot = D + 2 * metric), so "higher metric wins, equal metric and
+    # lower original row wins" is exactly the full scan's argmax.
+    @property
+    def _op(self) -> int:
+        if self.base.memory.alphabet == BIPOLAR_ALPHABET:
+            return _kernels.OP_XOR
+        return _kernels.OP_AND
+
+    def _metric_bounds(self, qwords: np.ndarray) -> np.ndarray:
+        """``(n, k)`` certified upper bounds on each class's best metric."""
+        hamming = _kernels.xor_popcount(qwords, self._sketch_words)
+        if self.base.memory.alphabet == BIPOLAR_ALPHABET:
+            return -np.maximum(hamming - self._radius[None, :], 0)
+        pop_q = np.bitwise_count(qwords).sum(axis=1).astype(np.int64)
+        return (pop_q[:, None] - hamming + self._slack[None, :]) // 2
+
+    def _scan_shortlists(
+        self,
+        qwords: np.ndarray,
+        candidates: np.ndarray,
+        best_metric: np.ndarray,
+        best_row: np.ndarray,
+    ) -> None:
+        """Exactly score each query's candidate classes; update running best.
+
+        ``candidates`` is an ``(n, k)`` boolean mask.  The native backend
+        runs the whole pass in one CSR kernel call; the numpy backend keeps
+        a per-class re-rank loop as the correctness reference.
+        """
+        if _kernels.sparse_scan_available():
+            counts = candidates.sum(axis=1, dtype=np.int64)
+            list_start = np.zeros(candidates.shape[0] + 1, dtype=np.int64)
+            np.cumsum(counts, out=list_start[1:])
+            list_groups = np.nonzero(candidates)[1].astype(np.int64)
+            _kernels.sparse_scan(
+                qwords,
+                self._sorted_words,
+                self._group_start,
+                self._orig_row,
+                list_start,
+                list_groups,
+                best_metric,
+                best_row,
+                self._op,
+            )
+            return
+        op = self._op
+        for group in range(self.num_groups):
+            selected = np.flatnonzero(candidates[:, group])
+            if not selected.size:
+                continue
+            rows = self._group_rows[group]
+            if op == _kernels.OP_AND:
+                sims = _kernels.and_popcount(
+                    qwords[selected], self._group_words[group]
+                )
+            else:
+                sims = -_kernels.xor_popcount(
+                    qwords[selected], self._group_words[group]
+                )
+            local = np.argmax(sims, axis=1)  # lowest row index in the class
+            metrics = sims[np.arange(selected.size), local]
+            winners = rows[local]
+            current_metric = best_metric[selected]
+            current_row = best_row[selected]
+            better = (metrics > current_metric) | (
+                (metrics == current_metric) & (winners < current_row)
+            )
+            updated = selected[better]
+            best_metric[updated] = metrics[better]
+            best_row[updated] = winners[better]
+
+    def _predict_rows(self, qwords: np.ndarray) -> np.ndarray:
+        """Winning AM row per query; argmax-identical to the full scan."""
+        n = qwords.shape[0]
+        total_rows = self.num_columns
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        bounds = self._metric_bounds(qwords)
+        groups = self.num_groups
+        topk = self.effective_topk()
+
+        if topk >= groups:
+            shortlisted = np.ones((n, groups), dtype=bool)
+        else:
+            order = np.argpartition(bounds, groups - topk, axis=1)[:, groups - topk :]
+            shortlisted = np.zeros((n, groups), dtype=bool)
+            shortlisted[np.arange(n)[:, None], order] = True
+
+        best_metric = np.full(n, np.iinfo(np.int64).min, dtype=np.int64)
+        best_row = np.full(n, total_rows, dtype=np.int64)
+        self._scan_shortlists(qwords, shortlisted, best_metric, best_row)
+        rows_scored = int((shortlisted @ self._group_sizes).sum())
+
+        # Escape hatch: >= keeps exact ties (a skipped class could hide an
+        # equal-metric row with a lower index); strict < is the only safe
+        # skip, so the argmax (and its tie-break) matches the full scan.
+        ambiguous = (~shortlisted) & (bounds >= best_metric[:, None])
+        ambiguous_rows = ambiguous @ self._group_sizes
+        full_scan = ambiguous_rows >= self.fallback_fraction * total_rows
+        widened = (~full_scan) & ambiguous.any(axis=1)
+
+        rescue = ambiguous & widened[:, None]
+        if rescue.any():
+            self._scan_shortlists(qwords, rescue, best_metric, best_row)
+            rows_scored += int((rescue @ self._group_sizes).sum())
+
+        fallback_indices = np.flatnonzero(full_scan)
+        if fallback_indices.size:
+            memory_words = self.base.memory.words
+            if self._op == _kernels.OP_AND:
+                sims = _kernels.and_popcount(qwords[fallback_indices], memory_words)
+                best_row[fallback_indices] = np.argmax(sims, axis=1)
+            else:
+                hamming = _kernels.xor_popcount(qwords[fallback_indices], memory_words)
+                best_row[fallback_indices] = np.argmin(hamming, axis=1)
+            rows_scored += int(fallback_indices.size) * total_rows
+
+        widened_count = int(widened.sum())
+        fallback_count = int(fallback_indices.size)
+        with self._stats_lock:
+            self._counters["queries"] += n
+            self._counters["shortlist_hits"] += n - widened_count - fallback_count
+            self._counters["widened"] += widened_count
+            self._counters["fallbacks"] += fallback_count
+            self._counters["rows_scored"] += rows_scored
+            self._counters["rows_full_scan"] += n * total_rows
+        return best_row
+
+    # ------------------------------------------------------------ inference
+    def predict_columns(self, queries: Union[np.ndarray, PackedVectors]) -> np.ndarray:
+        """Index of the winning AM row per query (lowest-index ties).
+
+        Bit-identical to ``PackedAM.predict_columns`` / the float path.
+        """
+        packed, _ = self.base._pack_queries(queries)
+        return self._predict_rows(np.ascontiguousarray(packed.words))
+
+    def predict(self, queries: Union[np.ndarray, PackedVectors]) -> np.ndarray:
+        """Predicted class labels (the class of the winning row)."""
+        return self.base.column_classes[self.predict_columns(queries)]
+
+    def scores(self, queries: Union[np.ndarray, PackedVectors]) -> np.ndarray:
+        """Full ``(n, C)`` score matrix (delegates to the exact full scan).
+
+        Pruning accelerates the argmax only; callers that need every score
+        get the base AM's full scan.
+        """
+        return self.base.scores(queries)
+
+    def class_scores(self, queries: Union[np.ndarray, PackedVectors]) -> np.ndarray:
+        """Per-class best scores (delegates to the exact full scan)."""
+        return self.base.class_scores(queries)
+
+    # ---------------------------------------------------------------- stats
+    def stats(self) -> Dict[str, float]:
+        """Snapshot of the prune counters (plus the derived prune ratio)."""
+        with self._stats_lock:
+            snapshot = dict(self._counters)
+        full = snapshot["rows_full_scan"]
+        snapshot["prune_ratio"] = 1.0 - snapshot["rows_scored"] / full if full else 0.0
+        snapshot["prune_topk"] = self.effective_topk()
+        return snapshot
+
+    def reset_stats(self) -> None:
+        """Zero the prune counters (e.g. between benchmark phases)."""
+        with self._stats_lock:
+            for key in self._counters:
+                self._counters[key] = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PrunedAM(shape={self.dimension}x{self.num_columns}, "
+            f"classes={self.num_groups}, topk={self.effective_topk()}, "
+            f"alphabet={self.base.memory.alphabet})"
+        )

@@ -34,7 +34,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 import numpy as np
 
 #: Engines a pipeline can route chunks through.
-ENGINES = ("float", "packed")
+ENGINES = ("float", "packed", "pruned")
 
 #: Floor applied to elapsed wall times before computing rates.  Tiny
 #: batches can finish between two clock ticks, making the raw elapsed time
@@ -130,13 +130,19 @@ class InferencePipeline:
         ``predict`` accepts an ``engine`` keyword (MEMHD and the wired
         baselines) can be served with ``engine="packed"``.
     engine:
-        ``"float"`` (reference matmul path) or ``"packed"`` (bit-packed
-        popcount path).  Requesting ``"packed"`` from a model that does
-        not support it raises :class:`ValueError`.
+        ``"float"`` (reference matmul path), ``"packed"`` (bit-packed
+        popcount path) or ``"pruned"`` (centroid-pruned shortlist search
+        over the packed kernels).  Requesting ``"packed"`` or
+        ``"pruned"`` from a model that does not support it raises
+        :class:`ValueError`.
     chunk_size:
         Maximum number of query rows per chunk.
     workers:
         Thread-pool width for sharding chunks; 1 runs chunks serially.
+    prune_topk:
+        Shortlist width for the pruned engine (classes exactly re-ranked
+        per query); ``None`` keeps the model's heuristic default.  Only
+        meaningful with ``engine="pruned"``.
     """
 
     def __init__(
@@ -145,6 +151,7 @@ class InferencePipeline:
         engine: str = "float",
         chunk_size: int = 1024,
         workers: int = 1,
+        prune_topk: Optional[int] = None,
     ) -> None:
         if engine not in ENGINES:
             raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
@@ -152,17 +159,20 @@ class InferencePipeline:
             raise ValueError(f"chunk_size must be positive, got {chunk_size}")
         if workers <= 0:
             raise ValueError(f"workers must be positive, got {workers}")
+        if prune_topk is not None and prune_topk < 1:
+            raise ValueError(f"prune_topk must be >= 1, got {prune_topk}")
         if not callable(getattr(model, "predict", None)):
             raise TypeError("model must expose a callable predict(features)")
         self.model = model
         self.engine = engine
         self.chunk_size = int(chunk_size)
         self.workers = int(workers)
+        self.prune_topk = None if prune_topk is None else int(prune_topk)
         self._takes_engine = _accepts_engine(model.predict)
-        if engine == "packed" and not self._takes_engine:
+        if engine in ("packed", "pruned") and not self._takes_engine:
             raise ValueError(
                 f"{type(model).__name__}.predict does not accept an engine "
-                "keyword; the packed engine is unavailable for this model"
+                f"keyword; the {engine} engine is unavailable for this model"
             )
         self._warm = False
         self._warmup_lock = threading.Lock()
@@ -183,6 +193,10 @@ class InferencePipeline:
         with self._warmup_lock:
             if self._warm:
                 return
+            if self.engine == "pruned" and self.prune_topk is not None:
+                configure = getattr(self.model, "configure_pruning", None)
+                if callable(configure):
+                    configure(self.prune_topk)
             prepare = getattr(self.model, "prepare_engine", None)
             if callable(prepare):
                 prepare(self.engine)
@@ -191,6 +205,13 @@ class InferencePipeline:
     def predict(self, features: np.ndarray) -> np.ndarray:
         """Chunked prediction; labels identical to ``model.predict``."""
         return self.run(features).labels
+
+    def prune_stats(self) -> Optional[dict]:
+        """The model's prune counters (None when not exposed / not built)."""
+        hook = getattr(self.model, "prune_stats", None)
+        if callable(hook):
+            return hook()
+        return None
 
     def run(self, features: np.ndarray) -> PipelineResult:
         """Serve a full batch and return labels plus throughput stats."""

@@ -179,6 +179,7 @@ class ServedModel:
         payload["queue_depth"] = (
             self.scheduler.queue_size() if self.scheduler is not None else 0
         )
+        payload["pruned"] = self.pipeline.prune_stats()
         return payload
 
     def close(self, drain: bool = True) -> None:
@@ -202,7 +203,7 @@ class ModelPool:
         :meth:`add_spec` and :meth:`reload`.  Pools built purely around
         in-process model objects work without one (reload then requires
         nothing, and attempting it raises :class:`PoolError`).
-    engine / chunk_size / workers:
+    engine / chunk_size / workers / prune_topk:
         Forwarded to every entry's :class:`InferencePipeline`.
     batching:
         When ``False`` entries get no scheduler and requests run directly
@@ -228,11 +229,13 @@ class ModelPool:
         max_wait_ms: float = 2.0,
         queue_depth: int = 128,
         mapped: bool = False,
+        prune_topk: Optional[int] = None,
     ) -> None:
         self.registry = registry
         self.engine = engine
         self.chunk_size = int(chunk_size)
         self.workers = int(workers)
+        self.prune_topk = None if prune_topk is None else int(prune_topk)
         self.batching = bool(batching)
         self.max_batch_size = int(max_batch_size)
         self.max_wait_ms = float(max_wait_ms)
@@ -262,6 +265,7 @@ class ModelPool:
             engine=self.engine,
             chunk_size=self.chunk_size,
             workers=self.workers,
+            prune_topk=self.prune_topk,
         )
         pipeline.warmup()
         scheduler = (

@@ -391,6 +391,7 @@ class ModelServer:
         listen_socket: Optional[socket.socket] = None,
         reuse_port: bool = False,
         worker_id: Optional[int] = None,
+        prune_topk: Optional[int] = None,
     ) -> None:
         if model is None and not models:
             raise ValueError("provide an in-process model and/or registry specs")
@@ -408,6 +409,7 @@ class ModelServer:
             max_wait_ms=max_wait_ms,
             queue_depth=queue_depth,
             mapped=mapped,
+            prune_topk=prune_topk,
         )
         if model is not None:
             self.pool.add_model(model_key, model, manifest=manifest)

@@ -107,8 +107,11 @@ class WorkerConfig:
         Alternative to specs: serve this in-process model object (the
         child inherits it copy-on-write through ``fork``).
     engine:
-        Inference engine for every pipeline (``float`` / ``binary`` /
-        ``packed``).
+        Inference engine for every pipeline (``float`` / ``packed`` /
+        ``pruned``).
+    prune_topk:
+        Shortlist width of the pruned engine (``None`` = per-model
+        heuristic); only meaningful with ``engine="pruned"``.
     chunk_size / pipeline_threads:
         :class:`~repro.runtime.pipeline.InferencePipeline` settings
         (``pipeline_threads`` shards chunks *within* one micro-batch; the
@@ -128,6 +131,7 @@ class WorkerConfig:
     model_key: str = "default"
     manifest: Any = None
     engine: str = "float"
+    prune_topk: Optional[int] = None
     chunk_size: int = 1024
     pipeline_threads: int = 1
     batching: bool = True
@@ -285,6 +289,7 @@ def _worker_main(
         models=list(config.models) or None,
         registry=registry,
         engine=config.engine,
+        prune_topk=config.prune_topk,
         chunk_size=config.chunk_size,
         workers=config.pipeline_threads,
         manifest=config.manifest,
@@ -896,6 +901,7 @@ def _merge_worker_stats(
                     "errors_by_status": {},
                     "predict_s": 0.0,
                     "queue_depth": 0,
+                    "pruned": None,
                 }
                 models[key] = into
             for counter in ("requests", "queries", "errors"):
@@ -906,6 +912,21 @@ def _merge_worker_stats(
                 into["errors_by_status"][status] = into["errors_by_status"].get(
                     status, 0
                 ) + int(count)
+            prune_entry = entry.get("pruned")
+            if prune_entry:
+                into_pruned = into["pruned"]
+                if into_pruned is None:
+                    # Counters sum across workers; the configuration
+                    # fields (prune_topk) are identical per replica.
+                    into_pruned = {k: 0 for k in prune_entry}
+                    into_pruned["prune_topk"] = prune_entry.get("prune_topk")
+                    into["pruned"] = into_pruned
+                for field, value in prune_entry.items():
+                    if field == "prune_topk":
+                        continue
+                    if field == "prune_ratio":
+                        continue  # recomputed from the summed counters
+                    into_pruned[field] = into_pruned.get(field, 0) + value
             version = int(entry.get("version", 0))
             into["versions"].add(version)
             if version > into["version"]:
@@ -916,6 +937,11 @@ def _merge_worker_stats(
         entry["queries_per_second"] = (
             entry["queries"] / entry["predict_s"] if entry["predict_s"] > 0 else 0.0
         )
+        if entry["pruned"] is not None:
+            full = entry["pruned"].get("rows_full_scan", 0)
+            entry["pruned"]["prune_ratio"] = (
+                1.0 - entry["pruned"].get("rows_scored", 0) / full if full else 0.0
+            )
     merged["queries_per_second"] = (
         merged["queries"] / merged["predict_s"] if merged["predict_s"] > 0 else 0.0
     )

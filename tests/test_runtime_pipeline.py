@@ -185,7 +185,7 @@ class TestThroughputComparison:
             model, tiny_dataset.test_features, chunk_size=16, repeats=2
         )
         assert np.array_equal(labels, model.predict(tiny_dataset.test_features))
-        assert [s.engine for s in stats] == ["float", "packed"]
+        assert [s.engine for s in stats] == ["float", "packed", "pruned"]
         for engine_stats in stats:
             assert engine_stats.total_queries == tiny_dataset.test_features.shape[0]
 

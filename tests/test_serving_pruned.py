@@ -1,0 +1,141 @@
+"""Serving regression for the pruned engine over real HTTP.
+
+``repro serve --engine pruned`` must be indistinguishable from the packed
+engine to every client -- bit-identical labels under concurrent load --
+while ``/stats`` additionally exposes the prune hit/fallback counters so
+operators can see whether the shortlist is actually pruning.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.core.config import MEMHDConfig
+from repro.core.model import MEMHDModel
+from repro.runtime.server import ModelServer
+
+
+def _get(url, timeout=10):
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return response.status, json.loads(response.read().decode("utf-8"))
+
+
+def _post(url, payload, timeout=30):
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return response.status, json.loads(response.read().decode("utf-8"))
+
+
+@pytest.fixture(scope="module")
+def pruned_server(tiny_dataset):
+    """A live pruned-engine server plus its model (for reference labels)."""
+    model = MEMHDModel(
+        tiny_dataset.num_features,
+        tiny_dataset.num_classes,
+        MEMHDConfig(dimension=64, columns=16, epochs=2, seed=9),
+        rng=9,
+    )
+    model.fit(tiny_dataset.train_features, tiny_dataset.train_labels)
+    server = ModelServer(model, engine="pruned", prune_topk=2, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server, model
+    finally:
+        server.shutdown()
+        thread.join(timeout=10)
+
+
+class TestPrunedServing:
+    def test_concurrent_load_bit_identical_to_packed(
+        self, pruned_server, tiny_dataset
+    ):
+        server, model = pruned_server
+        features = tiny_dataset.test_features
+        reference = model.predict(features, engine="packed")
+
+        # Mixed batch sizes hammered from many client threads: every
+        # response must match the packed full scan row for row.
+        slices = [
+            slice(i, min(i + size, len(features)))
+            for size in (1, 7, 16)
+            for i in range(0, len(features), size)
+        ]
+
+        def hit(window):
+            status, payload = _post(
+                server.url + "/predict",
+                {"features": features[window].tolist()},
+            )
+            assert status == 200
+            return window, np.asarray(payload["labels"], dtype=np.int64)
+
+        with ThreadPoolExecutor(max_workers=12) as pool:
+            for window, labels in pool.map(hit, slices):
+                np.testing.assert_array_equal(labels, reference[window])
+
+    def test_stats_expose_prune_counters(self, pruned_server, tiny_dataset):
+        server, _ = pruned_server
+        _post(
+            server.url + "/predict",
+            {"features": tiny_dataset.test_features[:8].tolist()},
+        )
+        status, stats = _get(server.url + "/stats")
+        assert status == 200
+        pruned = stats["models"]["default"]["pruned"]
+        assert pruned is not None
+        for key in (
+            "queries",
+            "shortlist_hits",
+            "widened",
+            "fallbacks",
+            "rows_scored",
+            "rows_full_scan",
+            "prune_ratio",
+            "prune_topk",
+        ):
+            assert key in pruned
+        assert pruned["queries"] >= 8
+        assert pruned["prune_topk"] == 2
+        accounted = pruned["shortlist_hits"] + pruned["widened"] + pruned["fallbacks"]
+        assert accounted == pruned["queries"]
+
+    def test_engine_reported_in_describe(self, pruned_server):
+        server, _ = pruned_server
+        status, health = _get(server.url + "/healthz")
+        assert status == 200
+        assert health["engine"] == "pruned"
+
+
+class TestPackedServerHasNullPruneStats:
+    def test_packed_engine_reports_none(self, tiny_dataset):
+        model = MEMHDModel(
+            tiny_dataset.num_features,
+            tiny_dataset.num_classes,
+            MEMHDConfig(dimension=48, columns=16, epochs=1, seed=3),
+            rng=3,
+        )
+        model.fit(tiny_dataset.train_features, tiny_dataset.train_labels)
+        server = ModelServer(model, engine="packed", port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            _post(
+                server.url + "/predict",
+                {"features": tiny_dataset.test_features[:4].tolist()},
+            )
+            _, stats = _get(server.url + "/stats")
+            assert stats["models"]["default"]["pruned"] is None
+        finally:
+            server.shutdown()
+            thread.join(timeout=10)

@@ -107,6 +107,7 @@ from repro.io.checkpoint import (
 )
 from repro.io.registry import ArtifactRegistry, RegistryError
 from repro.runtime.loadtest import fetch_server_stats, run_load
+from repro.runtime.online import OnlineConfig
 from repro.runtime.pipeline import throughput_comparison
 from repro.runtime.server import ModelServer
 from repro.runtime.workers import WorkerConfig, WorkerSupervisor
@@ -357,6 +358,58 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-batching", action="store_true",
         help="disable micro-batching: one direct pipeline call per "
         "request (the pre-v2 behaviour; the loadtest baseline)",
+    )
+    serve.add_argument(
+        "--online", action="store_true",
+        help="enable the continual-learning loop: POST /feedback streams "
+        "labelled samples into a bounded buffer, a background trainer "
+        "folds them into a shadow copy of the served model, and shadows "
+        "that clear the promotion gate are checkpointed (with lineage) "
+        "and hot-swapped into traffic; requires --models (registry-backed)",
+    )
+    serve.add_argument(
+        "--promote-threshold", type=float, default=0.0, metavar="ACC",
+        help="minimum holdout accuracy a shadow must reach to be "
+        "promoted (default 0: gate only on beating the live model)",
+    )
+    serve.add_argument(
+        "--promote-margin", type=float, default=0.0, metavar="ACC",
+        help="how much the shadow must beat the live model by on the "
+        "holdout slice (default 0: promote on ties)",
+    )
+    serve.add_argument(
+        "--min-feedback", type=int, default=32, metavar="N",
+        help="buffered samples that trigger a shadow training fold "
+        "(default 32; a graceful drain folds any remainder)",
+    )
+    serve.add_argument(
+        "--feedback-buffer", type=int, default=4096, metavar="N",
+        help="bound of the feedback buffer; beyond it POST /feedback "
+        "sheds load with HTTP 429 (default 4096)",
+    )
+    serve.add_argument(
+        "--shadow-interval", type=float, default=1.0, metavar="S",
+        help="cadence of the background trainer's buffer checks "
+        "(default 1.0)",
+    )
+    serve.add_argument(
+        "--eval-fraction", type=float, default=0.25, metavar="F",
+        help="share of feedback withheld into the holdout reservoir the "
+        "promotion gate scores on (default 0.25; 0 disables promotion)",
+    )
+    serve.add_argument(
+        "--eval-window", type=int, default=256, metavar="N",
+        help="rolling bound of the holdout reservoir (default 256)",
+    )
+    serve.add_argument(
+        "--online-lr", type=float, default=None, metavar="LR",
+        help="learning rate of the streaming updates (default: the "
+        "checkpoint's training rate; drift recovery usually wants more)",
+    )
+    serve.add_argument(
+        "--online-results", default=None, metavar="PATH",
+        help="drift-record JSONL path (default: online-drift.jsonl next "
+        "to the served artifact's checkpoints)",
     )
 
     loadtest = subparsers.add_parser(
@@ -985,7 +1038,26 @@ def _on_sigterm(callback) -> None:
         signal.signal(signal.SIGTERM, lambda *_: callback())
 
 
-def _serve_prefork(args: argparse.Namespace, model, manifest, mapped: bool) -> int:
+def _online_config(args: argparse.Namespace) -> "OnlineConfig | None":
+    """The ``--online`` knobs as an OnlineConfig (``None`` when off)."""
+    if not args.online:
+        return None
+    return OnlineConfig(
+        promote_threshold=args.promote_threshold,
+        promote_margin=args.promote_margin,
+        min_feedback=args.min_feedback,
+        interval_s=args.shadow_interval,
+        buffer_size=args.feedback_buffer,
+        eval_fraction=args.eval_fraction,
+        eval_window=args.eval_window,
+        learning_rate=args.online_lr,
+        results_path=args.online_results,
+    )
+
+
+def _serve_prefork(
+    args: argparse.Namespace, model, manifest, mapped: bool, online
+) -> int:
     """``repro serve --workers N`` (N > 1): run the prefork supervisor."""
     store = str(ArtifactRegistry(args.store).root) if args.models else None
     config = WorkerConfig(
@@ -1003,6 +1075,7 @@ def _serve_prefork(args: argparse.Namespace, model, manifest, mapped: bool) -> i
         queue_depth=args.queue_depth,
         mapped=mapped,
         drain_timeout=args.drain_timeout,
+        online=online,
     )
     try:
         supervisor = WorkerSupervisor(
@@ -1023,11 +1096,14 @@ def _serve_prefork(args: argparse.Namespace, model, manifest, mapped: bool) -> i
         f"serving {served} on {supervisor.url} [engine={args.engine}, backend="
         f"{kernel_backend() if args.engine in ('packed', 'pruned') else 'blas'}, "
         f"workers={args.workers} ({supervisor.socket_mode}), "
-        f"mapped={'on' if mapped else 'off'}, {_batching_summary(args)}]"
+        f"mapped={'on' if mapped else 'off'}, {_batching_summary(args)}"
+        f"{', online' if online is not None else ''}]"
     )
     print(
         "endpoints: POST /predict, POST /models/<name>/predict, "
-        "POST /reload, GET /healthz, GET /stats, GET /stats/local, "
+        "POST /reload, "
+        + ("POST /feedback, " if online is not None else "")
+        + "GET /healthz, GET /stats, GET /stats/local, "
         "GET /manifest, GET /models"
     )
     _on_sigterm(supervisor.request_shutdown)
@@ -1049,6 +1125,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
     if args.workers < 1:
         print("error: --workers must be >= 1", file=sys.stderr)
         return 2
+    if args.online and not args.models:
+        print("error: --online requires registry-backed --models "
+              "(promotions are versioned checkpoints)", file=sys.stderr)
+        return 2
+    try:
+        online = _online_config(args)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     # Memory-mapped checkpoint loading defaults on exactly when several
     # processes could share the pages; a lone server keeps the eager loader.
     mapped = args.mapped if args.mapped is not None else args.workers > 1
@@ -1060,7 +1145,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             print(f"error: {error}", file=sys.stderr)
             return 2
     if args.workers > 1:
-        return _serve_prefork(args, model, manifest, mapped)
+        return _serve_prefork(args, model, manifest, mapped, online)
     try:
         server = ModelServer(
             model,
@@ -1078,6 +1163,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             max_wait_ms=args.max_wait_ms,
             queue_depth=args.queue_depth,
             mapped=mapped,
+            online=online,
         )
     except (ValueError, CheckpointError, RegistryError, OSError) as error:
         # OSError covers bind failures: port in use, privileged port, ...
@@ -1089,11 +1175,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
     print(
         f"serving {served} on {server.url} [engine={args.engine}, backend="
         f"{kernel_backend() if args.engine in ('packed', 'pruned') else 'blas'}, "
-        f"{_batching_summary(args)}]"
+        f"{_batching_summary(args)}"
+        f"{', online' if online is not None else ''}]"
     )
     print(
         "endpoints: POST /predict, POST /models/<name>/predict, "
-        "POST /reload, GET /healthz, GET /stats, GET /manifest, GET /models"
+        "POST /reload, "
+        + ("POST /feedback, " if online is not None else "")
+        + "GET /healthz, GET /stats, GET /manifest, GET /models"
     )
     # SIGTERM drains like Ctrl-C: stop accepting, answer what's in flight.
     _on_sigterm(

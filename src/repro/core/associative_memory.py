@@ -85,14 +85,28 @@ class MultiCentroidAM:
         self.column_classes = classes
         self.threshold_mode = threshold_mode
         self.normalization = normalization
-        self.binary_memory = np.zeros_like(fp, dtype=np.int8)
         self._packed_am: Optional[PackedAM] = None
         self._pruned_am: Optional[PrunedAM] = None
+        self.binary_memory = np.zeros_like(fp, dtype=np.int8)
         #: Shortlist width of the pruned engine (None = heuristic default).
         self.prune_topk: Optional[int] = None
         self.refresh_binary()
 
     # ----------------------------------------------------------- properties
+    @property
+    def binary_memory(self) -> np.ndarray:
+        """The deployed 1-bit memory (what every similarity search reads)."""
+        return self._binary_memory
+
+    @binary_memory.setter
+    def binary_memory(self, value: np.ndarray) -> None:
+        # Any assignment -- refresh_binary, checkpoint restore, a trainer
+        # rolling back to its best snapshot, online promotion/rollback --
+        # drops the derived packed/pruned mirrors, so engine="packed" /
+        # "pruned" can never keep answering from a stale copy.
+        self._binary_memory = value
+        self._packed_am = None
+        self._pruned_am = None
     @property
     def num_columns(self) -> int:
         """Total number of class vectors ``C``."""
@@ -212,11 +226,13 @@ class MultiCentroidAM:
 
     # ------------------------------------------------------------- training
     def refresh_binary(self) -> None:
-        """Re-quantize the binary AM from the (normalized) FP AM."""
+        """Re-quantize the binary AM from the (normalized) FP AM.
+
+        The assignment invalidates the packed/pruned mirrors through the
+        :attr:`binary_memory` setter.
+        """
         normalized = normalize_rows(self.fp_memory, self.normalization)
         self.binary_memory = mean_threshold_binarize(normalized, self.threshold_mode)
-        self._packed_am = None
-        self._pruned_am = None
 
     def apply_updates(
         self,
@@ -301,8 +317,6 @@ class MultiCentroidAM:
                 f"fp_memory shape {am.fp_memory.shape}"
             )
         am.binary_memory = binary
-        am._packed_am = None
-        am._pruned_am = None
         return am
 
     # -------------------------------------------------------------- utility

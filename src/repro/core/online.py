@@ -75,6 +75,10 @@ class OnlineMEMHD:
         Applies one pass of the quantization-aware update rule over the
         batch (scored against the current binary memory), then -- when
         ``refresh`` is True -- re-normalizes and re-binarizes the memory.
+        Re-binarization assigns :attr:`MultiCentroidAM.binary_memory`,
+        whose setter drops the cached packed/pruned mirrors, so
+        ``engine="packed"`` / ``"pruned"`` predictions can never go stale
+        after an update (regression-pinned by ``tests/test_core_online``).
 
         Returns
         -------

@@ -145,6 +145,15 @@ class CheckpointManifest:
         (``quantize_output``, ``binary_projection``, ``value_low`` /
         ``value_high``), captured so models built around a custom adopted
         encoder still restore bit-identically.  ``None`` for bare AMs.
+    lineage:
+        Optional incremental-checkpoint provenance: for checkpoints
+        produced by folding online feedback into a parent artifact, this
+        records (at minimum) the parent's resolved ``name:tag`` spec and
+        the feedback counts that separate child from parent, so a
+        promotion chain can be audited and rolled back tag by tag.
+        ``None`` for from-scratch training checkpoints.  An optional
+        field within ``schema_version`` 1: older readers drop it, older
+        checkpoints default it to ``None``.
     """
 
     schema_version: int
@@ -159,6 +168,7 @@ class CheckpointManifest:
     dataset: Optional[Dict[str, Any]] = None
     metrics: Optional[Dict[str, Any]] = None
     encoder: Optional[Dict[str, Any]] = None
+    lineage: Optional[Dict[str, Any]] = None
 
     def to_json(self) -> str:
         """Serialize the manifest (plus the format magic) to JSON."""
@@ -342,6 +352,7 @@ def save_checkpoint(
     path,
     dataset=None,
     metrics: Optional[Dict[str, Any]] = None,
+    lineage: Optional[Dict[str, Any]] = None,
 ) -> CheckpointManifest:
     """Persist a fitted model (or bare AM) to a versioned ``.npz`` checkpoint.
 
@@ -358,6 +369,9 @@ def save_checkpoint(
         already-computed fingerprint mapping.
     metrics:
         Optional JSON-able metrics to embed (e.g. test accuracy).
+    lineage:
+        Optional incremental-checkpoint provenance (parent artifact spec
+        and feedback counts; see :class:`CheckpointManifest`).
 
     Returns
     -------
@@ -393,6 +407,7 @@ def save_checkpoint(
         dataset=fingerprint,
         metrics=dict(metrics) if metrics is not None else None,
         encoder=_encoder_meta(obj),
+        lineage=dict(lineage) if lineage is not None else None,
     )
     payload = {
         MANIFEST_KEY: np.frombuffer(manifest.to_json().encode("utf-8"), dtype=np.uint8)

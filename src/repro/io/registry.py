@@ -209,6 +209,7 @@ class ArtifactRegistry:
         tag: Optional[str] = None,
         dataset=None,
         metrics: Optional[Dict[str, Any]] = None,
+        lineage: Optional[Dict[str, Any]] = None,
     ) -> RegistryEntry:
         """Checkpoint ``model`` into the store as ``name:tag``.
 
@@ -221,8 +222,9 @@ class ArtifactRegistry:
         tag:
             Explicit tag; omitted, the next free auto tag (``v1``, ``v2``,
             ...) is assigned.  Re-using an existing tag overwrites it.
-        dataset / metrics:
-            Provenance forwarded into the checkpoint manifest.
+        dataset / metrics / lineage:
+            Provenance forwarded into the checkpoint manifest (``lineage``
+            records the parent artifact of an incremental checkpoint).
 
         Returns
         -------
@@ -238,7 +240,7 @@ class ArtifactRegistry:
             _check_component(tag, "tag")
         path = self.path_for(name, tag)
         path.parent.mkdir(parents=True, exist_ok=True)
-        save_checkpoint(model, path, dataset=dataset, metrics=metrics)
+        save_checkpoint(model, path, dataset=dataset, metrics=metrics, lineage=lineage)
         return self._entry(name, tag, path)
 
     def remove(self, spec: str) -> Path:

@@ -33,6 +33,7 @@ import math
 import socket
 import threading
 import time
+import urllib.error
 import urllib.parse
 import urllib.request
 from dataclasses import dataclass, field
@@ -197,6 +198,82 @@ def synthesize_features(
         rng.normal(size=(batch_size, num_features)).round(4).tolist()
         for _ in range(pool)
     ]
+
+
+def stream_feedback(
+    url: str,
+    features,
+    labels,
+    batch_size: int = 64,
+    model: Optional[str] = None,
+    retries: int = 0,
+    timeout: float = REQUEST_TIMEOUT_S,
+) -> Dict[str, Any]:
+    """Stream labelled samples into a server's ``POST /feedback``.
+
+    The client half of the continual-learning loop
+    (:mod:`repro.runtime.online`): slices ``features`` / ``labels`` into
+    ``batch_size``-row requests and POSTs them in order.  A sample only
+    counts as ``acked`` when its batch got a 200 (the server's
+    durably-buffered acknowledgement); non-200 responses count under
+    their status and transport-level failures (e.g. the connection dying
+    into a SIGKILLed prefork worker) under status ``0``.  ``retries``
+    re-sends a failed batch -- safe against double-counting worries for
+    accuracy (folding a batch twice is idempotent-enough for HDC
+    updates) and exactly what a chaos-tolerant client should do, since a
+    failed batch was never acknowledged.
+
+    Returns
+    -------
+    dict
+        ``{"requests", "acked", "errors", "errors_by_status"}`` --
+        ``acked`` in samples, the rest per request.
+    """
+    batch = np.asarray(features, dtype=np.float64)
+    targets = np.asarray(labels)
+    if batch.ndim != 2 or batch.shape[0] != targets.shape[0]:
+        raise ValueError("features must be (n, f) with one label per row")
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    endpoint = (
+        f"{url.rstrip('/')}/models/{urllib.parse.quote(model)}/feedback"
+        if model is not None
+        else f"{url.rstrip('/')}/feedback"
+    )
+    requests = acked = errors = 0
+    errors_by_status: Dict[int, int] = {}
+    for start in range(0, batch.shape[0], batch_size):
+        body = json.dumps(
+            {
+                "features": batch[start : start + batch_size].tolist(),
+                "labels": [int(label) for label in targets[start : start + batch_size]],
+            }
+        ).encode("utf-8")
+        for attempt in range(retries + 1):
+            request = urllib.request.Request(
+                endpoint, data=body, headers={"Content-Type": "application/json"}
+            )
+            requests += 1
+            try:
+                with urllib.request.urlopen(request, timeout=timeout) as response:
+                    reply = json.loads(response.read().decode("utf-8"))
+                acked += int(reply.get("accepted", 0))
+                break
+            except urllib.error.HTTPError as error:
+                status = int(error.code)
+                error.read()
+            except (urllib.error.URLError, OSError, socket.timeout):
+                status = 0
+            errors += 1
+            errors_by_status[status] = errors_by_status.get(status, 0) + 1
+            if attempt < retries:
+                time.sleep(0.05 * (attempt + 1))
+    return {
+        "requests": requests,
+        "acked": acked,
+        "errors": errors,
+        "errors_by_status": errors_by_status,
+    }
 
 
 def run_load(

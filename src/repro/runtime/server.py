@@ -54,6 +54,14 @@ Endpoints (all JSON):
 ``POST /reload``
     Body ``{"model": name?, "spec": "name[:tag]"?}``; atomically hot-swaps
     one model from the artifact registry.
+``POST /feedback`` / ``POST /models/<name>/feedback``
+    Body ``{"features": [[...], ...], "labels": [...]}`` -- labelled
+    ground truth for the continual-learning loop (``repro serve
+    --online``; see :mod:`repro.runtime.online`).  The 200 ack means the
+    batch is durably buffered for the shadow trainer; a full buffer sheds
+    load with 429 + ``Retry-After``, and servers without ``--online``
+    answer 503.  Under prefork, workers forward to the supervisor (which
+    owns the single learner) before acknowledging.
 
 Typical single-model use (unchanged from PR 2)::
 
@@ -80,7 +88,14 @@ from typing import Any, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.runtime.online import (
+    FeedbackError,
+    OnlineConfig,
+    OnlineLearner,
+    feedback_error_status,
+)
 from repro.runtime.pool import (
+    IN_PROCESS_SPEC,
     ModelPool,
     ModelStats,
     PoolError,
@@ -295,7 +310,9 @@ class _RequestHandler(BaseHTTPRequestHandler):
 
     def _route_post(self, service: "ModelServer") -> None:
         key, path = self._model_route(self.path)
-        if path not in ("/predict", "/reload") or (path == "/reload" and key):
+        if path not in ("/predict", "/reload", "/feedback") or (
+            path == "/reload" and key
+        ):
             # The body was never read; keeping the connection alive would
             # desync the next request against the leftover bytes.
             self.close_connection = True
@@ -307,6 +324,8 @@ class _RequestHandler(BaseHTTPRequestHandler):
         try:
             if path == "/reload":
                 response = service.cluster_reload_payload(payload)
+            elif path == "/feedback":
+                response = service.feedback_request(payload, key=key)
             else:
                 response = service.predict_request(payload, key=key)
         except ServerError as error:
@@ -392,11 +411,17 @@ class ModelServer:
         reuse_port: bool = False,
         worker_id: Optional[int] = None,
         prune_topk: Optional[int] = None,
+        online: Optional[OnlineConfig] = None,
     ) -> None:
         if model is None and not models:
             raise ValueError("provide an in-process model and/or registry specs")
         if models and registry is None:
             raise ValueError("serving registry specs requires a registry")
+        if online is not None and registry is None:
+            raise ValueError(
+                "online learning requires a registry-backed model "
+                "(checkpoints must round-trip through the artifact registry)"
+            )
         if listen_socket is not None and reuse_port:
             raise ValueError("listen_socket and reuse_port are mutually exclusive")
         self.pool = ModelPool(
@@ -418,10 +443,34 @@ class ModelServer:
         self.stats = ServerStats()
         self.worker_id = worker_id
         #: Control-plane hook installed by :mod:`repro.runtime.workers`:
-        #: an object with ``stats()`` and ``reload(payload)`` methods that
-        #: execute against the whole worker pool.  ``None`` in
-        #: single-process mode.
+        #: an object with ``stats()``, ``reload(payload)`` and
+        #: ``feedback(payload)`` methods that execute against the whole
+        #: worker pool.  ``None`` in single-process mode.
         self.cluster = None
+        #: The single-process continual-learning loop; ``None`` when
+        #: ``--online`` is off or this server is a prefork worker (the
+        #: supervisor owns the learner there).
+        self.online: Optional[OnlineLearner] = None
+        if online is not None:
+            target = self.pool.get()
+            if target.resolved_spec == IN_PROCESS_SPEC:
+                for pool_key in self.pool.keys():
+                    candidate = self.pool.get(pool_key)
+                    if candidate.resolved_spec != IN_PROCESS_SPEC:
+                        target = candidate
+                        break
+                else:
+                    raise ValueError(
+                        "online learning requires a registry-backed model; "
+                        "an in-process model has no checkpoint lineage"
+                    )
+            self.online = OnlineLearner(
+                registry,
+                target.resolved_spec,
+                online,
+                promote=self.reload_payload,
+                model_key=target.key,
+            )
         self._draining = False
         self._active_requests = 0
         self._active_cond = threading.Condition()
@@ -527,6 +576,8 @@ class ModelServer:
     # ------------------------------------------------------------- lifecycle
     def serve_forever(self) -> None:
         """Serve on the calling thread until :meth:`shutdown` (blocking)."""
+        if self.online is not None:
+            self.online.start()
         self._serving = True
         try:
             self._httpd.serve_forever()
@@ -557,6 +608,10 @@ class ModelServer:
         if self._serving or (self._thread is not None and self._thread.is_alive()):
             self._httpd.shutdown()
         self._httpd.server_close()
+        if self.online is not None:
+            # Fold + persist the feedback backlog while the pool can
+            # still hot-swap (a final gated promotion may fire here).
+            self.online.stop(drain=True)
         self.pool.close(drain=True)
         if self._thread is not None:
             self._thread.join(timeout=5.0)
@@ -584,6 +639,8 @@ class ModelServer:
             self._httpd.shutdown()
         self._httpd.server_close()
         completed = self.wait_idle(timeout)
+        if self.online is not None:
+            self.online.stop(drain=True)
         self.pool.close(drain=True)
         if self._thread is not None:
             self._thread.join(timeout=5.0)
@@ -617,6 +674,11 @@ class ModelServer:
         payload["queue_depth"] = self.pool.total_queue_size()
         payload["batching"] = self.pool.batching
         payload["models"] = self.pool.stats_dict()
+        payload["online"] = (
+            self.online.stats()
+            if self.online is not None
+            else OnlineLearner.disabled_stats()
+        )
         if self.worker_id is not None:
             payload["worker"] = int(self.worker_id)
         return payload
@@ -655,6 +717,55 @@ class ModelServer:
     def manifest_dict(self) -> Dict[str, Any]:
         """Payload of ``GET /manifest`` (default model)."""
         return self.pool.get().manifest_dict()
+
+    # -------------------------------------------------------------- feedback
+    def feedback_request(
+        self, payload: Dict[str, Any], key: Optional[str] = None
+    ) -> Dict[str, Any]:
+        """Serve one decoded ``POST /feedback`` body.
+
+        Single-process servers submit straight into their own
+        :class:`~repro.runtime.online.OnlineLearner`; prefork workers
+        forward over the escalation channel to the supervisor (which owns
+        the pool's single learner), so the 200 ack is only sent once the
+        *parent* has the batch -- a worker SIGKILLed right after
+        answering cannot lose acknowledged feedback.
+        """
+        body_key = payload.get("model")
+        if body_key is not None and not isinstance(body_key, str):
+            raise ServerError(400, '"model" must be a string routing key')
+        effective_key = key if key is not None else body_key
+        if "features" not in payload or "labels" not in payload:
+            raise ServerError(
+                400, 'request body must be {"features": [[...], ...], "labels": [...]}'
+            )
+        if self.cluster is not None:
+            message = {"features": payload["features"], "labels": payload["labels"]}
+            if effective_key is not None:
+                message["model"] = effective_key
+            try:
+                return self.cluster.feedback(message)
+            except ServerError:
+                raise
+            except Exception as error:
+                raise ServerError(503, f"cluster feedback failed: {error}") from error
+        if self.online is None:
+            raise ServerError(
+                503,
+                "online learning is not enabled; restart with repro serve --online",
+            )
+        if effective_key is not None and effective_key != self.online.model_key:
+            raise ServerError(
+                404,
+                f"feedback routes to model {self.online.model_key!r}; "
+                f"unknown model {effective_key!r}",
+            )
+        try:
+            return self.online.submit(payload["features"], payload["labels"])
+        except (FeedbackError, ValueError) as error:
+            status = feedback_error_status(error)
+            headers = {"Retry-After": "1"} if status == 429 else None
+            raise ServerError(status, str(error), headers=headers) from error
 
     # ------------------------------------------------------------ predicting
     @staticmethod

@@ -30,7 +30,15 @@ against the *same* ``host:port``:
   cluster-wide operation.  ``GET /stats`` on any worker therefore returns
   the **merged** view of every worker (nested per-worker under a
   ``workers`` key), and ``POST /reload`` fans out so each worker performs
-  its own atomic swap-first-drain-second hot-swap.
+  its own atomic swap-first-drain-second hot-swap;
+* **continual learning** -- with ``WorkerConfig.online`` set, the
+  supervisor owns the pool's single
+  :class:`~repro.runtime.online.OnlineLearner`; workers forward
+  ``POST /feedback`` over the escalation channel (the 200 ack means the
+  *parent* buffered the batch, so a SIGKILLed worker loses nothing
+  acknowledged) and gated promotions ride the ``/reload`` fan-out, with
+  recorded reloads replayed onto respawned workers so the pool converges
+  to one version.
 
 The channels are distinct and independently locked, so the circular call
 (worker HTTP handler -> parent -> that same worker's control thread)
@@ -61,6 +69,12 @@ import warnings
 from multiprocessing.connection import wait as _connection_wait
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.runtime.online import (
+    FeedbackError,
+    OnlineConfig,
+    OnlineLearner,
+    feedback_error_status,
+)
 from repro.runtime.server import ModelServer, ServerError
 
 #: Parent-side timeout for one worker's answer on its control channel.
@@ -123,6 +137,14 @@ class WorkerConfig:
         (default: on -- the point of prefork is sharing those pages).
     drain_timeout:
         How long a draining worker waits for in-flight requests.
+    online:
+        :class:`~repro.runtime.online.OnlineConfig` enabling the
+        continual-learning loop.  The **supervisor** owns the single
+        :class:`~repro.runtime.online.OnlineLearner`; workers forward
+        ``POST /feedback`` over their escalation channel and only ack
+        once the parent has buffered the batch (so a SIGKILLed worker
+        cannot lose acknowledged feedback), and promotions fan out
+        through the ordinary cluster ``/reload`` path.
     """
 
     models: Tuple[str, ...] = ()
@@ -140,6 +162,7 @@ class WorkerConfig:
     queue_depth: int = 128
     mapped: bool = True
     drain_timeout: float = 30.0
+    online: Optional[OnlineConfig] = None
 
 
 # --------------------------------------------------------------- worker side
@@ -187,6 +210,15 @@ class _SupervisorClient:
 
     def reload(self, payload: Dict[str, Any]) -> Dict[str, Any]:
         return self._call({"op": "cluster_reload", "payload": payload})
+
+    def feedback(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Forward one ``/feedback`` batch to the supervisor's learner.
+
+        Blocking request/response: the worker's 200 ack is only written
+        after this returns, i.e. after the *parent* durably buffered the
+        batch.
+        """
+        return self._call({"op": "online_feedback", "payload": payload})
 
 
 def _serve_control(conn, server: ModelServer, stop, drain_requested) -> None:
@@ -408,6 +440,11 @@ class WorkerSupervisor:
             raise ValueError("WorkerConfig needs registry specs or a model object")
         if config.models and config.store is None:
             raise ValueError("WorkerConfig with registry specs needs a store path")
+        if config.online is not None and not config.models:
+            raise ValueError(
+                "online learning requires registry specs (checkpoints must "
+                "round-trip through the artifact registry)"
+            )
         if socket_mode not in ("auto", "reuseport", "inherit"):
             raise ValueError(f"unknown socket_mode {socket_mode!r}")
         if not fork_available():
@@ -437,6 +474,12 @@ class WorkerSupervisor:
         self._started = False
         self._respawns = 0
         self.port = 0
+        #: The pool's single continual-learning loop (``config.online``).
+        self._online: Optional[OnlineLearner] = None
+        #: Last successful ``/reload`` payload per routing key, replayed
+        #: to respawned workers so they converge to the promoted (or
+        #: rolled-back) version instead of re-resolving from scratch.
+        self._last_reload: Dict[Optional[str], Dict[str, Any]] = {}
 
     # ------------------------------------------------------------ addressing
     @property
@@ -462,6 +505,22 @@ class WorkerSupervisor:
             for worker_id in range(self.workers):
                 self._slots[worker_id] = self._spawn(worker_id)
             self._await_ready()
+            if self.config.online is not None:
+                # The learner is created after the workers are serving so
+                # its very first promotion already has a pool to fan out
+                # to.  It lives in the parent: one shadow model for the
+                # whole pool, and feedback acked only once it is here.
+                from repro.io.registry import ArtifactRegistry
+
+                spec = self.config.models[0]
+                self._online = OnlineLearner(
+                    ArtifactRegistry(self.config.store),
+                    spec,
+                    self.config.online,
+                    promote=self.reload,
+                    model_key=spec.split(":", 1)[0],
+                )
+                self._online.start()
         except BaseException:
             self._stop.set()
             self._kill_all()
@@ -606,6 +665,32 @@ class WorkerSupervisor:
         if self._stop.is_set():
             # Shutdown raced the respawn; don't leak the replacement.
             self._kill_all()
+            return
+        if self._last_reload:
+            # The replacement re-resolved its specs from the config; any
+            # reload that happened since (an online promotion, a manual
+            # rollback to a pinned tag) must be replayed so the pool
+            # converges back to one version.
+            threading.Thread(
+                target=self._resync_worker,
+                args=(slot,),
+                daemon=True,
+                name=f"worker-{slot.worker_id}-resync",
+            ).start()
+
+    def _resync_worker(self, slot: _WorkerSlot) -> None:
+        """Replay recorded reloads onto a freshly respawned worker."""
+        if not slot.ready.wait(timeout=self.start_timeout):
+            return
+        for payload in list(self._last_reload.values()):
+            try:
+                self._control_request(
+                    slot,
+                    {"op": "reload", "payload": dict(payload)},
+                    timeout=CONTROL_TIMEOUT_S,
+                )
+            except (OSError, EOFError, TimeoutError, BrokenPipeError):
+                return
 
     def shutdown(self, drain: bool = True) -> None:
         """Stop the pool: drain (or kill) workers, release the port.
@@ -614,6 +699,11 @@ class WorkerSupervisor:
         ``drain_timeout`` seconds to finish in-flight requests and empty
         its schedulers; stragglers are SIGKILLed.  Idempotent.
         """
+        if self._online is not None:
+            # Fold + persist the feedback backlog while the workers are
+            # still up -- a final gated promotion can still fan out, and
+            # the drain-flush checkpoint makes acked feedback durable.
+            self._online.stop(drain=drain)
         self._stop.set()
         with self._slots_lock:
             slots = list(self._slots.values())
@@ -738,6 +828,11 @@ class WorkerSupervisor:
                         "ok": True,
                         "value": self.reload(message.get("payload") or {}),
                     }
+                elif op == "online_feedback":
+                    reply = {
+                        "ok": True,
+                        "value": self.submit_feedback(message.get("payload") or {}),
+                    }
                 else:
                     reply = {
                         "ok": False,
@@ -780,7 +875,34 @@ class WorkerSupervisor:
             snapshots,
             workers_total=self.workers,
             respawns=self._respawns,
+            online=self._online.stats() if self._online is not None else None,
         )
+
+    def submit_feedback(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Buffer one ``/feedback`` batch into the pool's learner.
+
+        The escalation handler of the workers' forwarded requests; maps
+        learner failures to the same statuses the single-process server
+        uses.
+        """
+        if self._online is None:
+            raise ServerError(
+                503,
+                "online learning is not enabled; restart with repro serve --online",
+            )
+        key = payload.get("model")
+        if key is not None and key != self._online.model_key:
+            raise ServerError(
+                404,
+                f"feedback routes to model {self._online.model_key!r}; "
+                f"unknown model {key!r}",
+            )
+        try:
+            return self._online.submit(
+                payload.get("features"), payload.get("labels")
+            )
+        except (FeedbackError, ValueError) as error:
+            raise ServerError(feedback_error_status(error), str(error)) from error
 
     def reload(self, payload: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
         """Fan ``POST /reload`` out to every live worker.
@@ -820,6 +942,10 @@ class WorkerSupervisor:
         if not results:
             first = next(iter(failures.values()))
             raise ServerError(int(first["status"]), str(first["error"]))
+        # Remember the winning payload (keyed by routing key) so a worker
+        # respawned later converges to this same version (promotion and
+        # rollback both land here).
+        self._last_reload[payload.get("model")] = dict(payload)
         response = dict(next(iter(sorted(results.items())))[1])
         response["status"] = "reloaded" if not failures else "partial"
         response["workers"] = {
@@ -858,6 +984,7 @@ def _merge_worker_stats(
     snapshots: Dict[int, Dict[str, Any]],
     workers_total: int,
     respawns: int,
+    online: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Merge per-worker ``stats_dict`` payloads into the cluster view."""
     merged: Dict[str, Any] = {
@@ -946,6 +1073,9 @@ def _merge_worker_stats(
         merged["queries"] / merged["predict_s"] if merged["predict_s"] > 0 else 0.0
     )
     merged["models"] = models
+    # The supervisor owns the pool's one learner; workers report a
+    # disabled block locally, the cluster view carries the real one.
+    merged["online"] = online if online is not None else {"enabled": False}
     merged["workers"] = {
         str(worker_id): snapshot for worker_id, snapshot in sorted(snapshots.items())
     }

@@ -173,3 +173,158 @@ class TestAddClass:
         online = OnlineMEMHD(fitted_model)
         with pytest.raises(ValueError):
             online.add_class(np.empty((0, 24)))
+
+
+class TestCacheInvalidation:
+    """The packed/pruned mirrors can never answer from stale memory.
+
+    ``binary_memory`` is a property whose setter drops the cached
+    ``PackedAM`` / ``PrunedAM``; these tests pin every path that
+    assigns it -- ``refresh_binary`` after online updates, and the raw
+    snapshot-restore assignment the trainer's keep-best rollback and the
+    serving runtime's promotion/rollback use.  Without the setter (the
+    pre-fix code invalidated only inside ``refresh_binary``) the
+    restore test fails: the warm packed cache keeps serving the
+    *pre-restore* memory.
+    """
+
+    def test_partial_fit_refreshes_packed_and_pruned(
+        self, fitted_model, tiny_dataset
+    ):
+        am = fitted_model.associative_memory
+        queries = tiny_dataset.test_features
+        # Warm both derived caches on the initial memory.
+        fitted_model.predict(queries, engine="packed")
+        fitted_model.predict(queries, engine="pruned")
+        assert am._packed_am is not None and am._pruned_am is not None
+        online = OnlineMEMHD(fitted_model, learning_rate=0.5)
+        rng = np.random.default_rng(3)
+        online.partial_fit(
+            tiny_dataset.train_features[:80],
+            rng.permutation(tiny_dataset.train_labels[:80]),
+        )
+        base = fitted_model.predict(queries, engine="float")
+        np.testing.assert_array_equal(
+            fitted_model.predict(queries, engine="packed"), base
+        )
+        np.testing.assert_array_equal(
+            fitted_model.predict(queries, engine="pruned"), base
+        )
+
+    def test_add_class_refreshes_packed_and_pruned(
+        self, fitted_model, five_class_dataset
+    ):
+        queries = five_class_dataset.test_features
+        fitted_model.predict(queries, engine="packed")
+        fitted_model.predict(queries, engine="pruned")
+        online = OnlineMEMHD(fitted_model, rng=np.random.default_rng(0))
+        online.add_class(
+            five_class_dataset.train_features[five_class_dataset.train_labels == 4],
+            columns=3,
+        )
+        base = fitted_model.predict(queries, engine="float")
+        np.testing.assert_array_equal(
+            fitted_model.predict(queries, engine="packed"), base
+        )
+        np.testing.assert_array_equal(
+            fitted_model.predict(queries, engine="pruned"), base
+        )
+
+    def test_binary_restore_drops_warm_caches(self, fitted_model, tiny_dataset):
+        """Regression: a raw ``binary_memory`` assignment (the keep-best /
+        rollback pattern) must invalidate warm packed/pruned caches."""
+        am = fitted_model.associative_memory
+        queries = tiny_dataset.test_features
+        snapshot = am.binary_memory.copy()
+        baseline = fitted_model.predict(queries, engine="packed")
+        # Drive the memory far from the snapshot (permuted labels), then
+        # warm both caches on the *updated* memory.
+        online = OnlineMEMHD(fitted_model, learning_rate=0.5)
+        rng = np.random.default_rng(0)
+        for _ in range(3):
+            online.partial_fit(
+                tiny_dataset.train_features[:120],
+                rng.permutation(tiny_dataset.train_labels[:120]),
+            )
+        stale = fitted_model.predict(queries, engine="packed")
+        fitted_model.predict(queries, engine="pruned")
+        assert not np.array_equal(stale, baseline), (
+            "updates did not change predictions; the restore scenario "
+            "would not exercise the cache"
+        )
+        # The rollback every restore path performs: assign the snapshot.
+        am.binary_memory = snapshot
+        assert am._packed_am is None and am._pruned_am is None
+        np.testing.assert_array_equal(
+            fitted_model.predict(queries, engine="packed"), baseline
+        )
+        np.testing.assert_array_equal(
+            fitted_model.predict(queries, engine="pruned"), baseline
+        )
+
+
+class TestVictimSelection:
+    """Edge cases of ``_select_victim_columns`` (column repurposing)."""
+
+    def _single_centroid_model(self, tiny_dataset):
+        model = MEMHDModel(
+            tiny_dataset.num_features,
+            tiny_dataset.num_classes,
+            MEMHDConfig(dimension=64, columns=tiny_dataset.num_classes, epochs=2,
+                        seed=0),
+            rng=0,
+        )
+        model.fit(tiny_dataset.train_features, tiny_dataset.train_labels)
+        return model
+
+    def test_single_centroid_classes_refuse_repurposing(
+        self, tiny_dataset, five_class_dataset
+    ):
+        model = self._single_centroid_model(tiny_dataset)
+        am = model.associative_memory
+        assert all(count == 1 for count in am.columns_per_class().values())
+        online = OnlineMEMHD(model, rng=np.random.default_rng(0))
+        new_samples = five_class_dataset.train_features[
+            five_class_dataset.train_labels == 4
+        ]
+        with pytest.raises(ValueError, match="grow=True"):
+            online.add_class(new_samples, columns=1)
+        # The failed call must not have corrupted the AM.
+        assert am.num_classes == tiny_dataset.num_classes
+        assert all(count == 1 for count in am.columns_per_class().values())
+
+    def test_single_centroid_classes_can_still_grow(
+        self, tiny_dataset, five_class_dataset
+    ):
+        model = self._single_centroid_model(tiny_dataset)
+        online = OnlineMEMHD(model, rng=np.random.default_rng(0))
+        new_samples = five_class_dataset.train_features[
+            five_class_dataset.train_labels == 4
+        ]
+        label = online.add_class(new_samples, columns=1, grow=True)
+        am = model.associative_memory
+        assert label == 4
+        assert am.num_columns == tiny_dataset.num_classes + 1
+        assert len(am.columns_of_class(4)) == 1
+
+    def test_repeated_add_class_to_capacity(self, fitted_model, five_class_dataset):
+        """Adding classes one by one drains the richest classes first and
+        stops (with a clear error) exactly when every class is down to one
+        centroid."""
+        online = OnlineMEMHD(fitted_model, rng=np.random.default_rng(4))
+        am = fitted_model.associative_memory
+        columns_total = am.num_columns
+        samples = five_class_dataset.train_features[
+            five_class_dataset.train_labels == 4
+        ]
+        # 24 columns over 4 classes: 20 more single-column classes fit
+        # before every class owns exactly one centroid.
+        capacity = columns_total - fitted_model.num_classes
+        for extra in range(capacity):
+            label = online.add_class(samples[: 5 + extra % 3], columns=1)
+            assert label == 4 + extra
+            assert am.num_columns == columns_total  # shape never changes
+            assert min(am.columns_per_class().values()) >= 1
+        assert all(count == 1 for count in am.columns_per_class().values())
+        with pytest.raises(ValueError, match="grow=True"):
+            online.add_class(samples[:5], columns=1)

@@ -18,7 +18,9 @@ paper depends on:
 * :mod:`repro.runtime` -- batched inference pipeline (chunking, engine
   selection, thread-pool sharding, throughput stats) and the ``repro
   serve`` HTTP daemon,
-* :mod:`repro.eval` -- metrics, experiment runners and report formatting.
+* :mod:`repro.eval` -- metrics, experiment runners and report formatting,
+* :mod:`repro.orchestrate` -- declarative workflow runs (``repro run``)
+  with a SQLite provenance database, crash-safe resume and QA reports.
 
 Quickstart::
 
@@ -41,11 +43,12 @@ from repro.baselines import BasicHDC, OnlineHD, QuantHD, SearcHD, LeHDC
 from repro.data import load_dataset, Dataset
 from repro.eval.store import ResultStore
 from repro.eval.sweep import SweepSpec, run_sweep
+from repro.orchestrate import RunDB, WorkflowSpec, run_workflow
 from repro.hdc import PackedAM, pack_binary, pack_bipolar
 from repro.imc import IMCArrayConfig, InMemoryInference
 from repro.runtime import InferencePipeline, ModelServer, PipelineStats
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 from repro.io import (  # noqa: E402 - needs __version__ for manifests
     ArtifactRegistry,
@@ -69,6 +72,9 @@ __all__ = [
     "ResultStore",
     "SweepSpec",
     "run_sweep",
+    "RunDB",
+    "WorkflowSpec",
+    "run_workflow",
     "PackedAM",
     "pack_binary",
     "pack_bipolar",

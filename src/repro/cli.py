@@ -628,6 +628,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="only compare these metrics (default: all but timings)",
     )
 
+    def add_workflow_options(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("workflow", help="workflow file (repro.yml / .json)")
+        sub.add_argument(
+            "--workdir", default=None, metavar="DIR",
+            help="working directory holding the artifact store, sweep "
+            "stores and run database (default: the workflow's 'workdir' "
+            "key, else ./<name>-workdir)",
+        )
+
+    run = subparsers.add_parser(
+        "run", help="execute a declarative workflow, recording provenance"
+    )
+    add_workflow_options(run)
+    mode = run.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--resume", action="store_true", default=True,
+        help="skip completed steps whose config hash and artifact "
+        "fingerprints are unchanged (the default)",
+    )
+    mode.add_argument(
+        "--force", action="store_true",
+        help="rerun every step even when it is up to date",
+    )
+    run.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool width for independent steps (default 1: inline)",
+    )
+
+    status = subparsers.add_parser(
+        "status",
+        help="what ran, with what config, and what changed since",
+    )
+    add_workflow_options(status)
+
+    report = subparsers.add_parser(
+        "report", help="render the workflow QA report from the run database"
+    )
+    add_workflow_options(report)
+    report.add_argument(
+        "--format", dest="fmt", default="markdown",
+        choices=("markdown", "html"), help="report output format",
+    )
+    report.add_argument(
+        "--output", default=None, metavar="FILE",
+        help="write the report to FILE instead of stdout",
+    )
+
     return parser
 
 
@@ -987,10 +1034,12 @@ def cmd_sweep_report(args: argparse.Namespace) -> int:
 
 
 def cmd_sweep_diff(args: argparse.Namespace) -> int:
+    # Missing or empty stores diff as "no records" rather than erroring:
+    # a fresh checkout comparing against a not-yet-run baseline is clean,
+    # not broken (the note keeps the situation visible).
     for path in (args.left, args.right):
         if not os.path.isfile(path):
-            print(f"error: no such result store: {path}", file=sys.stderr)
-            return 2
+            print(f"note: {path} has no records (missing or empty store)")
     try:
         diff = ResultStore(args.left).diff(
             ResultStore(args.right),
@@ -1310,6 +1359,79 @@ def cmd_models(args: argparse.Namespace) -> int:
     raise ValueError(f"unknown models subcommand {args.models_command!r}")
 
 
+def _load_workflow(args: argparse.Namespace):
+    """``(spec, workdir)`` from workflow-command arguments.
+
+    Raises
+    ------
+    repro.orchestrate.OrchestrationError
+        On unreadable or invalid workflow files.
+    """
+    from repro.orchestrate import parse_workflow
+
+    spec = parse_workflow(args.workflow)
+    workdir = args.workdir or spec.workdir or f"{spec.name}-workdir"
+    return spec, workdir
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    from repro.orchestrate import OrchestrationError, run_workflow
+
+    try:
+        spec, workdir = _load_workflow(args)
+    except OrchestrationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    result = run_workflow(
+        spec,
+        workdir,
+        workers=args.workers,
+        force=args.force,
+        progress=print,
+    )
+    print(result.summary())
+    if not result.ok:
+        for step in result.steps:
+            if step.action == "failed":
+                print(f"failed step {step.name}: {step.error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    from repro.orchestrate import OrchestrationError, workflow_status
+
+    try:
+        spec, workdir = _load_workflow(args)
+    except OrchestrationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(workflow_status(spec, workdir))
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.orchestrate import OrchestrationError, build_report
+
+    try:
+        spec, workdir = _load_workflow(args)
+    except OrchestrationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    rendered = build_report(spec, workdir, fmt=args.fmt)
+    if args.output:
+        try:
+            with open(args.output, "w", encoding="utf-8") as stream:
+                stream.write(rendered)
+        except OSError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        print(f"wrote {args.fmt} report to {args.output}")
+    else:
+        print(rendered, end="")
+    return 0
+
+
 COMMANDS = {
     "info": cmd_info,
     "train": cmd_train,
@@ -1319,6 +1441,9 @@ COMMANDS = {
     "models": cmd_models,
     "map": cmd_map,
     "sweep": cmd_sweep,
+    "run": cmd_run,
+    "status": cmd_status,
+    "report": cmd_report,
 }
 
 

@@ -48,6 +48,41 @@ def format_table(
     return "\n".join(parts)
 
 
+def format_markdown_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    float_format: str = "{:.4g}",
+) -> str:
+    """Render a list of dictionaries as a GitHub-flavoured markdown table.
+
+    The markdown sibling of :func:`format_table`, used by the workflow QA
+    reports (``repro report``).  Pipe characters inside cells are escaped
+    so arbitrary metric values cannot break the table.
+    """
+    rows = list(rows)
+    if not rows:
+        return "(empty table)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def render(value: object) -> str:
+        if isinstance(value, float):
+            text = float_format.format(value)
+        else:
+            text = str(value)
+        return text.replace("|", "\\|")
+
+    lines = [
+        "| " + " | ".join(str(column) for column in columns) + " |",
+        "| " + " | ".join("---" for _ in columns) + " |",
+    ]
+    for row in rows:
+        lines.append(
+            "| " + " | ".join(render(row.get(column, "")) for column in columns) + " |"
+        )
+    return "\n".join(lines)
+
+
 def normalize_series(values: Sequence[float], peak: float = 100.0) -> List[float]:
     """Scale a series so its maximum equals ``peak`` (Fig. 7 convention)."""
     arr = np.asarray(values, dtype=np.float64)

@@ -447,6 +447,41 @@ def read_manifest(path) -> CheckpointManifest:
         return _parse_manifest(archive, path)
 
 
+def content_fingerprint(path) -> str:
+    """Stable SHA-256 of a checkpoint's *logical* content.
+
+    Two checkpoints of the same model carry identical weights but are
+    not byte-identical files: the manifest embeds ``created_unix`` and
+    the zip container stamps entry timestamps.  Provenance (the workflow
+    RunDB, and the chaos tests' "bit-identical artifacts" assertion)
+    therefore hashes the content that matters instead: the manifest with
+    ``created_unix`` removed, plus every array's name, dtype, shape and
+    raw bytes, all in sorted order.
+
+    Raises
+    ------
+    CheckpointError
+        When ``path`` is not a readable checkpoint.
+    """
+    with _open_archive(path) as archive:
+        manifest = _parse_manifest(archive, path)
+        digest = hashlib.sha256()
+        payload = json.loads(manifest.to_json())
+        payload.pop("created_unix", None)
+        digest.update(
+            json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+        )
+        for key in sorted(archive.files):
+            if key == MANIFEST_KEY:
+                continue
+            array = np.asarray(archive[key])
+            digest.update(key.encode("utf-8"))
+            digest.update(str(array.dtype).encode("utf-8"))
+            digest.update(str(array.shape).encode("utf-8"))
+            digest.update(np.ascontiguousarray(array).tobytes())
+        return digest.hexdigest()
+
+
 def load_checkpoint(
     path,
     strict: bool = True,

@@ -28,11 +28,12 @@ import os
 import re
 import shutil
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.io.checkpoint import (
     CheckpointError,
     CheckpointManifest,
+    content_fingerprint,
     read_manifest,
     save_checkpoint,
     load_checkpoint,
@@ -140,10 +141,20 @@ class ArtifactRegistry:
         Store directory.  Defaults to :func:`default_store`.  Created on
         first write; read operations on a missing store simply see an
         empty registry.
+    on_save:
+        Optional observer called with every :class:`RegistryEntry` this
+        registry instance saves -- the provenance hook the workflow
+        orchestrator (and any audit tooling) attaches to record artifact
+        writes without wrapping every ``save`` call site.
     """
 
-    def __init__(self, root: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        root: Optional[str] = None,
+        on_save: Optional[Callable[[RegistryEntry], None]] = None,
+    ) -> None:
         self.root = Path(root or default_store()).expanduser()
+        self.on_save = on_save
 
     # ------------------------------------------------------------ addressing
     def path_for(self, name: str, tag: str) -> Path:
@@ -201,6 +212,16 @@ class ArtifactRegistry:
             raise RegistryError(f"artifact {name}:{tag} not found in store {self.root}")
         return path
 
+    def fingerprint(self, spec: str) -> str:
+        """Content hash of a stored artifact (timestamp-independent).
+
+        Resolves ``spec`` like :meth:`resolve` and returns the logical
+        :func:`repro.io.checkpoint.content_fingerprint` -- the identity
+        the workflow provenance DB records for produced and consumed
+        checkpoints.
+        """
+        return content_fingerprint(self.resolve(spec))
+
     # ------------------------------------------------------------- mutation
     def save(
         self,
@@ -241,7 +262,10 @@ class ArtifactRegistry:
         path = self.path_for(name, tag)
         path.parent.mkdir(parents=True, exist_ok=True)
         save_checkpoint(model, path, dataset=dataset, metrics=metrics, lineage=lineage)
-        return self._entry(name, tag, path)
+        entry = self._entry(name, tag, path)
+        if self.on_save is not None:
+            self.on_save(entry)
+        return entry
 
     def remove(self, spec: str) -> Path:
         """Delete one ``name:tag`` artifact; returns the removed path."""

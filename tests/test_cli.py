@@ -784,13 +784,34 @@ class TestSweepCLI:
         assert main(["sweep", "diff", left, right]) == 1
         assert "test_accuracy" in capsys.readouterr().out
 
-    def test_diff_missing_store_errors(self, tmp_path, capsys):
+    def test_diff_missing_stores_are_clean_no_records(self, tmp_path, capsys):
+        """Missing/empty stores diff cleanly (exit 0) instead of erroring."""
+        left = str(tmp_path / "ghost_a.jsonl")
+        right = str(tmp_path / "ghost_b.jsonl")
+        assert main(["sweep", "diff", left, right]) == 0
+        out = capsys.readouterr().out
+        assert "has no records" in out
+        assert "0 matching" in out
+        assert "identical" in out
+
+    def test_diff_populated_vs_missing_store_reports_drift(self, tmp_path, capsys):
+        """One-sided records are real drift (exit 1), not an error (exit 2)."""
         present = str(tmp_path / "a.jsonl")
         assert main(["sweep", "run", "--smoke", "--results", present]) == 0
         capsys.readouterr()
         exit_code = main(["sweep", "diff", present, str(tmp_path / "ghost.jsonl")])
-        assert exit_code == 2
-        assert "error:" in capsys.readouterr().err
+        assert exit_code == 1
+        captured = capsys.readouterr()
+        assert "only-left" in captured.out
+        assert "error:" not in captured.err
+
+    def test_status_missing_store_exits_0(self, tmp_path, capsys):
+        """sweep status on a store that was never written is a clean report."""
+        missing = str(tmp_path / "never.jsonl")
+        assert main(["sweep", "status", "--smoke", "--results", missing]) == 0
+        out = capsys.readouterr().out
+        assert "0 stored cell(s)" in out
+        assert "pending" in out
 
     def test_spec_file_round_trip(self, tmp_path, capsys):
         import json

@@ -190,3 +190,35 @@ class TestStoreDiff:
         )
         diff = left.diff(right)
         assert [change.metric for change in diff.changed] == ["extra"]
+
+    def test_diff_of_missing_stores_is_clean_no_records(self, tmp_path):
+        """Stores that were never written diff as clean "no records".
+
+        Pins the contract ``repro sweep diff`` (and the workflow report
+        builder) rely on: no special-casing required by callers, no
+        exception, an honest zero-count summary.
+        """
+        left = ResultStore(tmp_path / "never_a.jsonl")
+        right = ResultStore(tmp_path / "never_b.jsonl")
+        diff = left.diff(right)
+        assert diff.is_clean
+        assert diff.matching == 0
+        assert diff.changed == []
+        assert diff.only_left == [] and diff.only_right == []
+        assert "0 matching" in diff.summary()
+
+    def test_diff_of_empty_file_store_is_clean(self, tmp_path):
+        """A store file that exists but holds no records behaves the same."""
+        empty_path = tmp_path / "empty.jsonl"
+        empty_path.write_text("", encoding="utf-8")
+        diff = ResultStore(empty_path).diff(ResultStore(tmp_path / "ghost.jsonl"))
+        assert diff.is_clean
+        assert diff.matching == 0
+
+    def test_diff_populated_vs_missing_reports_only_left(self, tmp_path):
+        config = {"model": "memhd", "dimension": 32}
+        left = self._store(tmp_path, "left", [(config, {"test_accuracy": 0.5})])
+        diff = left.diff(ResultStore(tmp_path / "ghost.jsonl"))
+        assert not diff.is_clean
+        assert diff.only_left == [config_key(config)]
+        assert diff.only_right == []

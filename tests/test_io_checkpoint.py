@@ -33,6 +33,7 @@ from repro.io.checkpoint import (
     CheckpointError,
     CheckpointManifest,
     checkpoint_path,
+    content_fingerprint,
     dataset_fingerprint,
     load_checkpoint,
     load_checkpoint_with_manifest,
@@ -330,6 +331,56 @@ class TestManifest:
         payload = {"magic": "something-else", "schema_version": 1}
         with pytest.raises(CheckpointError, match="magic"):
             CheckpointManifest.from_json(json.dumps(payload))
+
+
+class TestContentFingerprint:
+    """content_fingerprint: content-level identity across re-saves."""
+
+    def test_stable_across_resaves_of_same_model(self, tiny_dataset, tmp_path):
+        model = _fit_model("memhd", tiny_dataset)
+        first = save_checkpoint(model, tmp_path / "a.npz")
+        # Force a different creation timestamp on the second save so the
+        # files genuinely differ byte-for-byte.
+        second = _rewrite(
+            tmp_path / "a.npz",
+            tmp_path / "b.npz",
+            mutate=lambda m: m.update(created_unix=m["created_unix"] + 3600),
+        )
+        assert first.created_unix != read_manifest(second).created_unix
+        assert (tmp_path / "a.npz").read_bytes() != second.read_bytes()
+        assert content_fingerprint(tmp_path / "a.npz") == content_fingerprint(second)
+
+    def test_sensitive_to_weight_changes(self, tiny_dataset, tmp_path):
+        model = _fit_model("memhd", tiny_dataset)
+        save_checkpoint(model, tmp_path / "a.npz")
+        model.fit(tiny_dataset.train_features, tiny_dataset.train_labels)
+        save_checkpoint(model, tmp_path / "b.npz")
+        assert content_fingerprint(tmp_path / "a.npz") != content_fingerprint(
+            tmp_path / "b.npz"
+        )
+
+    def test_sensitive_to_manifest_changes(self, tiny_dataset, tmp_path):
+        model = _fit_model("memhd", tiny_dataset)
+        save_checkpoint(model, tmp_path / "a.npz")
+        tweaked = _rewrite(
+            tmp_path / "a.npz",
+            tmp_path / "b.npz",
+            mutate=lambda m: m.update(metrics={"test_accuracy": 0.99}),
+        )
+        assert content_fingerprint(tmp_path / "a.npz") != content_fingerprint(tweaked)
+
+    def test_is_hex_digest(self, tiny_dataset, tmp_path):
+        model = _fit_model("memhd", tiny_dataset)
+        save_checkpoint(model, tmp_path / "a.npz")
+        digest = content_fingerprint(tmp_path / "a.npz")
+        assert len(digest) == 64
+        assert set(digest) <= set("0123456789abcdef")
+
+    def test_rejects_non_checkpoint(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"this is not a zip archive at all")
+        with pytest.raises(CheckpointError):
+            content_fingerprint(path)
 
 
 class TestValidation:

@@ -7,6 +7,7 @@ import os
 import numpy as np
 import pytest
 
+from repro.io.checkpoint import content_fingerprint
 from repro.io.registry import (
     LATEST_TAG,
     ArtifactRegistry,
@@ -122,6 +123,49 @@ class TestSaveResolve:
         assert cache.is_dir()
         registry.remove("demo:v1")
         assert not cache.exists(), "remove() must drop the extraction cache"
+
+
+class TestProvenance:
+    """Content fingerprints and the on_save observer hook."""
+
+    def test_fingerprint_matches_content_fingerprint(self, registry, model):
+        registry.save(model, "demo")
+        assert registry.fingerprint("demo:v1") == content_fingerprint(
+            registry.resolve("demo:v1")
+        )
+
+    def test_fingerprint_equal_across_resaves(self, registry, model):
+        """Two saves of the same model fingerprint identically even though
+        the files differ byte-for-byte (embedded creation timestamps)."""
+        registry.save(model, "demo", tag="one")
+        registry.save(model, "demo", tag="two")
+        assert registry.fingerprint("demo:one") == registry.fingerprint("demo:two")
+
+    def test_fingerprint_differs_for_different_models(
+        self, registry, model, tiny_dataset
+    ):
+        registry.save(model, "demo", tag="a")
+        retrained = registry.load("demo:a")
+        retrained.fit(tiny_dataset.train_features, tiny_dataset.train_labels)
+        registry.save(retrained, "demo", tag="b")
+        assert registry.fingerprint("demo:a") != registry.fingerprint("demo:b")
+
+    def test_fingerprint_unknown_artifact(self, registry):
+        with pytest.raises(RegistryError, match="no artifact"):
+            registry.fingerprint("ghost")
+
+    def test_on_save_observer_sees_every_entry(self, tmp_path, model):
+        seen = []
+        registry = ArtifactRegistry(tmp_path / "store", on_save=seen.append)
+        first = registry.save(model, "demo")
+        second = registry.save(model, "demo", tag="release")
+        assert [entry.spec for entry in seen] == ["demo:v1", "demo:release"]
+        assert seen[0] == first and seen[1] == second
+        assert all(os.path.isfile(entry.path) for entry in seen)
+
+    def test_no_observer_by_default(self, registry, model):
+        assert registry.on_save is None
+        registry.save(model, "demo")  # must not raise
 
 
 class TestListings:

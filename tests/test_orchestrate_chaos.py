@@ -1,0 +1,288 @@
+"""Chaos harness: SIGKILL the runner, resume, and demand identical results.
+
+The orchestration mirror of the PR 3 "interrupted == oneshot" sweep test:
+a workflow killed at a step boundary or in the middle of a step, then
+resumed with ``repro run`` (resume is the default), must land in exactly
+the same RunDB end-state -- same config hashes, same deterministic
+metrics, same artifact content fingerprints -- as a run that was never
+interrupted.  Artifact equality is content-level SHA-256
+(:func:`repro.io.checkpoint.content_fingerprint` for checkpoints), which
+is the meaningful form of "bit-identical" for archives that embed
+creation timestamps.
+"""
+
+import json
+import os
+import random
+import signal
+import sqlite3
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.io.registry import ArtifactRegistry
+from repro.orchestrate import RunDB, workdir_paths
+
+pytest.importorskip("yaml")
+
+SRC_ROOT = str(Path(repro.__file__).resolve().parents[1])
+
+#: Per-step artificial delay for the killed runs: wide enough that the
+#: kill signal always lands before the next step completes, small enough
+#: to keep the suite fast.
+STEP_DELAY_S = 0.4
+
+KILL_TIMEOUT_S = 60.0
+
+
+def tiny_payload():
+    return {
+        "name": "chaos",
+        "seed": 9,
+        "steps": [
+            {
+                "name": "prep",
+                "kind": "dataset",
+                "config": {"dataset": "mnist", "scale": 0.01},
+            },
+            {
+                "name": "train",
+                "kind": "train",
+                "needs": ["prep"],
+                "config": {
+                    "model": "memhd",
+                    "dataset": "mnist",
+                    "scale": 0.01,
+                    "dimension": 32,
+                    "columns": 16,
+                    "epochs": 1,
+                    "save": "chaos-model:wf",
+                },
+            },
+            {
+                "name": "grid",
+                "kind": "sweep",
+                "needs": ["prep"],
+                "config": {
+                    "spec": {
+                        "models": ["memhd"],
+                        "datasets": ["mnist"],
+                        "dimensions": [32],
+                        "columns": [16],
+                        "epochs": 1,
+                        "scale": 0.01,
+                        "seed": 9,
+                    }
+                },
+            },
+            {
+                "name": "bench",
+                "kind": "bench",
+                "needs": ["train"],
+                "config": {
+                    "model": "chaos-model:wf",
+                    "dataset": "mnist",
+                    "scale": 0.01,
+                    "engines": ["float", "packed"],
+                },
+            },
+        ],
+    }
+
+
+def runner_command(workflow, workdir):
+    return [
+        sys.executable,
+        "-m",
+        "repro.cli",
+        "run",
+        str(workflow),
+        "--workdir",
+        str(workdir),
+    ]
+
+
+def runner_env(**extra):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_ROOT + os.pathsep + env.get("PYTHONPATH", "")
+    env.update(extra)
+    return env
+
+
+def end_state(workdir):
+    with RunDB(workdir_paths(workdir)["rundb"]) as db:
+        return db.end_state()
+
+
+def completed_step_count(db_path):
+    """Completed-step count via a read-only connection; 0 before the DB exists."""
+    if not os.path.isfile(db_path):
+        return 0
+    connection = sqlite3.connect(str(db_path))
+    try:
+        (count,) = connection.execute(
+            "SELECT COUNT(DISTINCT step) FROM steps WHERE outcome = 'completed'"
+        ).fetchone()
+        return int(count)
+    except sqlite3.OperationalError:  # table not created yet
+        return 0
+    finally:
+        connection.close()
+
+
+def step_is_running(db_path, step):
+    if not os.path.isfile(db_path):
+        return False
+    connection = sqlite3.connect(str(db_path))
+    try:
+        (count,) = connection.execute(
+            "SELECT COUNT(*) FROM steps WHERE step = ? AND outcome = 'running'",
+            (step,),
+        ).fetchone()
+        return count > 0
+    except sqlite3.OperationalError:
+        return False
+    finally:
+        connection.close()
+
+
+def kill_when(process, condition, what):
+    """SIGKILL ``process`` as soon as ``condition()`` is true."""
+    deadline = time.monotonic() + KILL_TIMEOUT_S
+    while time.monotonic() < deadline:
+        if process.poll() is not None:
+            pytest.fail(
+                f"runner exited (rc={process.returncode}) before the kill "
+                f"condition ({what}) was reached"
+            )
+        if condition():
+            process.send_signal(signal.SIGKILL)
+            process.wait(timeout=30)
+            assert process.returncode == -signal.SIGKILL
+            return
+        time.sleep(0.01)
+    process.kill()
+    process.wait(timeout=30)
+    pytest.fail(f"kill condition ({what}) never became true")
+
+
+@pytest.fixture(scope="module")
+def workflow_file(tmp_path_factory):
+    target = tmp_path_factory.mktemp("chaos-spec") / "workflow.json"
+    target.write_text(json.dumps(tiny_payload()), encoding="utf-8")
+    return target
+
+
+@pytest.fixture(scope="module")
+def oneshot(tmp_path_factory, workflow_file):
+    """An uninterrupted reference run (fresh workdir, no delays)."""
+    workdir = tmp_path_factory.mktemp("chaos-oneshot")
+    proc = subprocess.run(
+        runner_command(workflow_file, workdir),
+        env=runner_env(),
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return workdir
+
+
+def resume_and_compare(workflow_file, workdir, oneshot_workdir):
+    """Resume the killed run and assert oneshot-identical end state."""
+    db_path = workdir_paths(workdir)["rundb"]
+    interrupted_before = completed_step_count(db_path)
+    proc = subprocess.run(
+        runner_command(workflow_file, workdir),
+        env=runner_env(),  # no delay knobs: resume runs at full speed
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert completed_step_count(db_path) == 4
+
+    # Steps completed before the kill were resumed, not re-executed.
+    assert f"{interrupted_before} skipped" in proc.stdout or "skipped" in proc.stdout
+
+    # Same RunDB end-state: config hashes, deterministic metrics, and
+    # content-level artifact SHA-256s all match the uninterrupted run.
+    assert end_state(workdir) == end_state(oneshot_workdir)
+
+    # Bit-identical artifacts, asserted directly on the stores too.
+    chaos_fp = ArtifactRegistry(workdir_paths(workdir)["store"]).fingerprint(
+        "chaos-model:wf"
+    )
+    oneshot_fp = ArtifactRegistry(
+        workdir_paths(oneshot_workdir)["store"]
+    ).fingerprint("chaos-model:wf")
+    assert chaos_fp == oneshot_fp
+
+    # Provenance stays honest: the killed run is recorded as interrupted.
+    with RunDB(db_path) as db:
+        outcomes = [run.outcome for run in db.runs()]
+    assert "interrupted" in outcomes
+    assert outcomes[-1] == "completed"
+
+
+@pytest.mark.parametrize("chaos_seed", [101, 202])
+def test_sigkill_at_step_boundary_then_resume(
+    tmp_path, workflow_file, oneshot, chaos_seed
+):
+    """Kill right after a randomized number of steps completed."""
+    kill_after = random.Random(chaos_seed).randint(1, 3)
+    workdir = tmp_path / "wd"
+    db_path = workdir_paths(workdir)["rundb"]
+    process = subprocess.Popen(
+        runner_command(workflow_file, workdir),
+        env=runner_env(REPRO_ORCH_TEST_DELAY_S=str(STEP_DELAY_S)),
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    try:
+        kill_when(
+            process,
+            lambda: completed_step_count(db_path) >= kill_after,
+            f"{kill_after} step(s) completed",
+        )
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=30)
+    completed = completed_step_count(db_path)
+    assert kill_after <= completed < 4, "kill landed mid-workflow"
+    resume_and_compare(workflow_file, workdir, oneshot)
+
+
+def test_sigkill_mid_step_then_resume(tmp_path, workflow_file, oneshot):
+    """Kill while the train step is executing (inside the step body)."""
+    workdir = tmp_path / "wd"
+    db_path = workdir_paths(workdir)["rundb"]
+    process = subprocess.Popen(
+        runner_command(workflow_file, workdir),
+        env=runner_env(
+            REPRO_ORCH_TEST_DELAY_S="5.0",
+            REPRO_ORCH_TEST_DELAY_STEP="train",
+        ),
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    try:
+        kill_when(
+            process,
+            lambda: step_is_running(db_path, "train"),
+            "train step running",
+        )
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=30)
+    # the killed step never completed; at most prep finished
+    assert completed_step_count(db_path) < 4
+    with RunDB(db_path) as db:
+        assert db.latest_completed("train") is None
+    resume_and_compare(workflow_file, workdir, oneshot)

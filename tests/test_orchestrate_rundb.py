@@ -1,0 +1,171 @@
+"""RunDB: provenance rows, crash-stale handling, end-state extraction."""
+
+import sqlite3
+
+import pytest
+
+from repro.orchestrate import RunDB, is_volatile_metric
+
+
+@pytest.fixture()
+def db(tmp_path):
+    with RunDB(tmp_path / "runs.sqlite") as database:
+        yield database
+
+
+def test_creates_parent_directories(tmp_path):
+    nested = tmp_path / "a" / "b" / "runs.sqlite"
+    with RunDB(nested):
+        pass
+    assert nested.is_file()
+
+
+def test_run_and_step_round_trip(db):
+    run_id = db.begin_run("wf", "hash0", "rev0")
+    step_id = db.begin_step(run_id, "prep", "dataset", "cfg0", {"x": 1}, "rev0")
+    db.record_artifacts(
+        step_id, "produced", [{"name": "dataset:d", "path": "", "sha256": "s1"}]
+    )
+    db.finish_step(
+        step_id,
+        "completed",
+        wall_s=0.5,
+        metrics={"rows": 10},
+        stdout_tail="out",
+        stderr_tail="err",
+    )
+    db.finish_run(run_id, "completed")
+
+    (run,) = db.runs()
+    assert run.outcome == "completed"
+    assert run.workflow == "wf"
+    assert run.finished_unix is not None
+
+    record = db.latest_completed("prep")
+    assert record is not None
+    assert record.config == {"x": 1}
+    assert record.metrics == {"rows": 10}
+    assert record.stdout_tail == "out"
+    assert record.wall_s == 0.5
+    (artifact,) = db.artifacts_for(record.id)
+    assert (artifact.direction, artifact.name, artifact.sha256) == (
+        "produced",
+        "dataset:d",
+        "s1",
+    )
+
+
+def test_latest_completed_ignores_failed_and_running(db):
+    run_id = db.begin_run("wf", "h", None)
+    ok = db.begin_step(run_id, "s", "dataset", "cfg-ok", {}, None)
+    db.finish_step(ok, "completed")
+    failed = db.begin_step(run_id, "s", "dataset", "cfg-fail", {}, None)
+    db.finish_step(failed, "failed", error="boom")
+    db.begin_step(run_id, "s", "dataset", "cfg-run", {}, None)  # left running
+
+    record = db.latest_completed("s")
+    assert record is not None and record.config_hash == "cfg-ok"
+
+
+def test_begin_run_marks_stale_running_rows_interrupted(db):
+    run_id = db.begin_run("wf", "h", None)
+    db.begin_step(run_id, "s", "dataset", "cfg", {}, None)
+    # Simulate SIGKILL: neither the step nor the run was ever finished.
+    db.begin_run("wf", "h", None)
+    runs = db.runs()
+    assert runs[0].outcome == "interrupted"
+    assert runs[1].outcome == "running"
+    (step,) = db.step_rows()
+    assert step.outcome == "interrupted"
+    assert db.latest_completed("s") is None
+
+
+def test_previous_completed(db):
+    run_id = db.begin_run("wf", "h", None)
+    first = db.begin_step(run_id, "s", "dataset", "cfg-a", {}, None)
+    db.finish_step(first, "completed")
+    second = db.begin_step(run_id, "s", "dataset", "cfg-b", {}, None)
+    db.finish_step(second, "completed")
+
+    latest = db.latest_completed("s")
+    assert latest.config_hash == "cfg-b"
+    previous = db.previous_completed("s", latest.id)
+    assert previous.config_hash == "cfg-a"
+    assert db.previous_completed("s", previous.id) is None
+
+
+def test_record_artifacts_validates_direction(db):
+    run_id = db.begin_run("wf", "h", None)
+    step_id = db.begin_step(run_id, "s", "dataset", "c", {}, None)
+    with pytest.raises(ValueError, match="direction"):
+        db.record_artifacts(step_id, "sideways", [])
+
+
+def test_end_state_uses_latest_completed_and_drops_timings(db):
+    run_id = db.begin_run("wf", "h", None)
+    old = db.begin_step(run_id, "s", "train", "cfg-old", {}, None)
+    db.finish_step(old, "completed", metrics={"test_accuracy": 0.1})
+    new = db.begin_step(run_id, "s", "train", "cfg-new", {}, None)
+    db.record_artifacts(
+        new,
+        "produced",
+        [
+            {"name": "checkpoint:m:b", "path": "/p", "sha256": "zz"},
+            {"name": "checkpoint:m:a", "path": "/p", "sha256": "aa"},
+        ],
+    )
+    db.finish_step(
+        new,
+        "completed",
+        metrics={
+            "test_accuracy": 0.5,
+            "train_elapsed_s": 1.23,
+            "queries_per_s_float": 99.0,
+            "wall_total": 4.0,
+        },
+    )
+
+    state = db.end_state()
+    assert set(state) == {"s"}
+    assert state["s"]["config_hash"] == "cfg-new"
+    assert state["s"]["metrics"] == {"test_accuracy": 0.5}
+    # artifact edges are sorted by name for deterministic comparison
+    assert [a["name"] for a in state["s"]["artifacts"]["produced"]] == [
+        "checkpoint:m:a",
+        "checkpoint:m:b",
+    ]
+
+
+def test_end_state_identical_across_extra_runs(db):
+    """More runs (resume after a crash) must not change the end state."""
+    run_id = db.begin_run("wf", "h", None)
+    step = db.begin_step(run_id, "s", "dataset", "cfg", {}, None)
+    db.finish_step(step, "completed", metrics={"rows": 5})
+    db.finish_run(run_id, "completed")
+    baseline = db.end_state()
+
+    for _ in range(3):  # crashed/no-op runs add rows but no completions
+        extra = db.begin_run("wf", "h", None)
+        db.finish_run(extra, "completed")
+    assert db.end_state() == baseline
+
+
+def test_commits_are_visible_to_other_connections(db, tmp_path):
+    """Every write commits immediately (the crash-safety property)."""
+    run_id = db.begin_run("wf", "h", None)
+    db.begin_step(run_id, "s", "dataset", "cfg", {}, None)
+    other = sqlite3.connect(str(tmp_path / "runs.sqlite"))
+    try:
+        (count,) = other.execute("SELECT COUNT(*) FROM steps").fetchone()
+    finally:
+        other.close()
+    assert count == 1
+
+
+def test_is_volatile_metric():
+    assert is_volatile_metric("elapsed_s")
+    assert is_volatile_metric("train_elapsed_s")
+    assert is_volatile_metric("queries_per_s_packed")
+    assert is_volatile_metric("wall_s")
+    assert not is_volatile_metric("test_accuracy")
+    assert not is_volatile_metric("memory_kib")

@@ -1,0 +1,74 @@
+"""Distributed elastic sweep: pool-vs-oneshot equivalence and overhead.
+
+The distributed layer (lease claims, heartbeats, the shared store) must
+buy scale-out without changing *what* is computed.  This benchmark runs
+the same grid twice -- a single-process oneshot sweep and a 2-worker
+elastic pool over a shared store directory -- gates on the differential
+(``ResultStore.diff`` clean in both directions), and prints the wall
+times side by side.  Timing is informational: on one machine the pool
+pays process spawn + polling against true parallelism, so the interesting
+number is the protocol overhead staying small, not a speedup.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import BENCH_EPOCHS, print_section
+
+from repro.eval.distributed import run_distributed_pool, store_paths
+from repro.eval.reporting import format_table
+from repro.eval.store import ResultStore
+from repro.eval.sweep import SweepSpec, run_sweep
+
+
+def _grid(smoke: bool) -> SweepSpec:
+    return SweepSpec(
+        models=("memhd", "basichdc"),
+        datasets=("mnist",),
+        dimensions=(32,) if smoke else (64, 128),
+        columns=(16,) if smoke else (32,),
+        engines=("float",),
+        scale=0.01 if smoke else 0.05,
+        epochs=1 if smoke else BENCH_EPOCHS,
+        seed=13,
+    )
+
+
+def test_distributed_pool_matches_oneshot(benchmark, smoke, tmp_path):
+    spec = _grid(smoke)
+    cells = len(spec.expand())
+
+    oneshot = ResultStore(tmp_path / "oneshot.jsonl")
+    start = time.perf_counter()
+    result = run_sweep(spec, oneshot, workers=1)
+    oneshot_s = time.perf_counter() - start
+    assert result.ok
+
+    pool_dir = tmp_path / "pool"
+
+    def run_pool():
+        return run_distributed_pool(spec, pool_dir, workers=2, ttl_s=10.0, poll_s=0.05)
+
+    start = time.perf_counter()
+    summary = benchmark.pedantic(run_pool, rounds=1, iterations=1)
+    pool_s = time.perf_counter() - start
+    assert summary["cells"] == cells
+
+    # The correctness gate: scale-out must not change any deterministic
+    # metric, in either direction.
+    pool_store = ResultStore(store_paths(pool_dir)["results"])
+    forward = oneshot.diff(pool_store)
+    assert forward.is_clean, f"pool drifted from oneshot: {forward.summary()}"
+    assert pool_store.diff(oneshot).is_clean
+
+    print_section(
+        "Distributed elastic sweep vs oneshot (identical grid, 2 workers)",
+        format_table(
+            [
+                {"runner": "oneshot (1 proc)", "cells": cells, "wall_s": oneshot_s},
+                {"runner": "elastic pool (2 procs)", "cells": cells, "wall_s": pool_s},
+            ],
+            float_format="{:.2f}",
+        ),
+    )

@@ -78,6 +78,7 @@ from repro.data.datasets import available_datasets, load_dataset
 from repro.eval.metrics import accuracy
 from repro.eval.reporting import (
     format_heatmap,
+    format_serving_records,
     format_store_diff,
     format_sweep_records,
     format_table,
@@ -568,8 +569,38 @@ def build_parser() -> argparse.ArgumentParser:
         )
         sub.add_argument("--seed", type=int, default=0)
         sub.add_argument(
+            "--kind", default="accuracy", choices=("accuracy", "serving-load"),
+            help="cell kind: accuracy/memory evaluation (default) or "
+            "serving-load cells that boot a server per cell and load-test it",
+        )
+        sub.add_argument(
+            "--serving-concurrency", type=_int_list, default=[8],
+            help="serving-load axis: load-generator concurrency levels",
+        )
+        sub.add_argument(
+            "--serving-workers", type=_int_list, default=[1],
+            help="serving-load axis: server worker-process counts",
+        )
+        sub.add_argument(
+            "--serving-batch", type=_int_list, default=[1],
+            help="serving-load axis: rows per request",
+        )
+        sub.add_argument(
+            "--serving-modes", type=_str_list, default=["closed"],
+            help="serving-load axis: loop modes (closed,open)",
+        )
+        sub.add_argument(
+            "--serving-requests", type=int, default=64,
+            help="fixed request count per serving-load cell (deterministic)",
+        )
+        sub.add_argument(
+            "--serving-rate", type=float, default=None,
+            help="offered requests/second for open-loop serving cells",
+        )
+        sub.add_argument(
             "--smoke", action="store_true",
-            help="replace the grid with a tiny fixed smoke preset (CI)",
+            help="replace the grid with a tiny fixed smoke preset (CI); "
+            "combined with --kind serving-load it selects the serving smoke grid",
         )
 
     sweep_run = sweep_sub.add_parser(
@@ -594,6 +625,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="retrain the best cell (by test accuracy) and checkpoint it "
         "into the artifact registry",
     )
+    sweep_run.add_argument(
+        "--distributed", action="store_true",
+        help="join an elastic worker pool over --store-dir: claim missing "
+        "cells via lease files, run them inline, stream results into the "
+        "shared store (workers may join late, die, and rejoin)",
+    )
+    sweep_run.add_argument(
+        "--store-dir", default=None, metavar="DIR",
+        help="shared store directory for --distributed "
+        "(results.jsonl + leases/ + events.jsonl)",
+    )
+    sweep_run.add_argument(
+        "--worker-id", default=None, metavar="ID",
+        help="this worker's identity in the pool (default <hostname>-<pid>)",
+    )
+    sweep_run.add_argument(
+        "--lease-ttl", type=float, default=None, metavar="SECONDS",
+        help="lease expiry: a worker silent this long is presumed dead "
+        "and its cell reclaimed (default 30)",
+    )
+    sweep_run.add_argument(
+        "--poll-interval", type=float, default=None, metavar="SECONDS",
+        help="idle rescan interval while other workers hold the "
+        "remaining cells (default min(1, ttl/4))",
+    )
     add_store_option(sweep_run)
 
     sweep_status = sweep_sub.add_parser(
@@ -601,6 +657,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_spec_options(sweep_status)
     add_results_option(sweep_status)
+    sweep_status.add_argument(
+        "--store-dir", default=None, metavar="DIR",
+        help="shared distributed-store directory: reads DIR/results.jsonl "
+        "and prints per-worker attribution from the pool's events log",
+    )
+    sweep_status.add_argument(
+        "--lease-ttl", type=float, default=None, metavar="SECONDS",
+        help="TTL used to classify currently-held leases as live/expired",
+    )
 
     sweep_report = sweep_sub.add_parser(
         "report", help="render a result store as tables / heatmaps"
@@ -907,6 +972,25 @@ SMOKE_SPEC = SweepSpec(
     seed=7,
 )
 
+#: Fixed serving-load smoke grid (``--smoke --kind serving-load``):
+#: 2 concurrency x 2 worker-count points over one tiny trained model,
+#: the minimal capacity-planning matrix CI gates.
+SERVING_SMOKE_SPEC = SweepSpec(
+    kind="serving-load",
+    models=("memhd",),
+    datasets=("mnist",),
+    dimensions=(32,),
+    columns=(16,),
+    engines=("packed",),
+    scale=0.01,
+    epochs=1,
+    seed=7,
+    serving_concurrency=(2, 4),
+    serving_workers=(1, 2),
+    serving_batch=(4,),
+    serving_requests=32,
+)
+
 
 def _spec_from_args(args: argparse.Namespace) -> SweepSpec:
     """Build the sweep spec from ``--spec FILE``, ``--smoke`` or axis flags."""
@@ -916,7 +1000,7 @@ def _spec_from_args(args: argparse.Namespace) -> SweepSpec:
     if args.smoke:
         # A fixed preset, independent of the other axis flags, so every CI
         # run exercises the identical tiny grid.
-        return SMOKE_SPEC
+        return SERVING_SMOKE_SPEC if args.kind == "serving-load" else SMOKE_SPEC
     return SweepSpec(
         models=tuple(args.models),
         datasets=tuple(args.datasets),
@@ -932,10 +1016,22 @@ def _spec_from_args(args: argparse.Namespace) -> SweepSpec:
         id_levels=args.id_levels,
         init_method=args.init,
         seed=args.seed,
+        kind=args.kind,
+        serving_concurrency=tuple(args.serving_concurrency),
+        serving_workers=tuple(args.serving_workers),
+        serving_batch=tuple(args.serving_batch),
+        serving_modes=tuple(args.serving_modes),
+        serving_requests=args.serving_requests,
+        serving_rate=args.serving_rate,
     )
 
 
 def cmd_sweep_run(args: argparse.Namespace) -> int:
+    if args.distributed:
+        return _cmd_sweep_run_distributed(args)
+    if args.store_dir:
+        print("error: --store-dir requires --distributed", file=sys.stderr)
+        return 2
     try:
         spec = _spec_from_args(args)
         store = ResultStore(args.results)
@@ -953,7 +1049,7 @@ def cmd_sweep_run(args: argparse.Namespace) -> int:
         return 2
     print(result.summary())
     if records:
-        print(format_sweep_records(records, title=f"Sweep results ({store.path})"))
+        print(_sweep_tables(records, title=f"Sweep results ({store.path})"))
     if args.save_best:
         try:
             best = best_record(records)
@@ -978,10 +1074,80 @@ def cmd_sweep_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep_run_distributed(args: argparse.Namespace) -> int:
+    """The ``sweep run --distributed`` path: one elastic pool worker."""
+    from repro.eval.distributed import DEFAULT_TTL_S, run_distributed
+
+    if not args.store_dir:
+        print("error: --distributed requires --store-dir", file=sys.stderr)
+        return 2
+    if args.workers != 1:
+        print(
+            "error: --distributed runs cells inline; scale out by starting "
+            "more workers over the same --store-dir, not with --workers",
+            file=sys.stderr,
+        )
+        return 2
+    if args.no_resume:
+        print(
+            "error: --no-resume is meaningless with --distributed (the "
+            "shared store is the pool's work ledger)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        spec = _spec_from_args(args)
+        result = run_distributed(
+            spec,
+            args.store_dir,
+            worker_id=args.worker_id,
+            ttl_s=args.lease_ttl if args.lease_ttl is not None else DEFAULT_TTL_S,
+            poll_s=args.poll_interval,
+            max_cells=args.max_jobs,
+            progress=lambda line: print(line, file=sys.stderr),
+        )
+        records = spec_records(spec, ResultStore(result_store_path(args.store_dir)))
+    except (SweepError, StoreError, OSError, json.JSONDecodeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(result.summary())
+    if records:
+        print(_sweep_tables(records, title=f"Sweep results ({args.store_dir})"))
+    if result.failed:
+        for failure in result.failed:
+            print(f"failed cell {failure['key']}: {failure['error']}", file=sys.stderr)
+        return 1
+    return 0 if result.grid_complete else 1
+
+
+def result_store_path(store_dir: str) -> str:
+    """``results.jsonl`` inside a distributed store dir (for sweep diff)."""
+    from repro.eval.distributed import store_paths
+
+    return str(store_paths(store_dir)["results"])
+
+
+def _sweep_tables(records, title: str) -> str:
+    """Accuracy + serving-load tables for whatever mix the store holds."""
+    serving = [r for r in records if r.config.get("kind") == "serving-load"]
+    regular = [r for r in records if r.config.get("kind") != "serving-load"]
+    parts = []
+    if regular:
+        parts.append(format_sweep_records(regular, title=title))
+    if serving:
+        parts.append(
+            format_serving_records(serving, title=f"Serving-load results ({title})")
+        )
+    return "\n\n".join(parts)
+
+
 def cmd_sweep_status(args: argparse.Namespace) -> int:
     try:
         spec = _spec_from_args(args)
-        store = ResultStore(args.results)
+        results = (
+            result_store_path(args.store_dir) if args.store_dir else args.results
+        )
+        store = ResultStore(results)
         jobs = spec.expand()
         completed = store.completed_keys()
     except (SweepError, StoreError, OSError, json.JSONDecodeError) as error:
@@ -998,6 +1164,29 @@ def cmd_sweep_status(args: argparse.Namespace) -> int:
               f"{job.config['dataset']} (D={job.config['dimension']})")
     if len(pending) > 10:
         print(f"  ... and {len(pending) - 10} more")
+    if args.store_dir:
+        from repro.eval.distributed import DEFAULT_TTL_S, pool_status
+
+        status = pool_status(
+            args.store_dir,
+            ttl_s=args.lease_ttl if args.lease_ttl is not None else DEFAULT_TTL_S,
+        )
+        if status["workers"]:
+            rows = [
+                {"worker": worker, **counts}
+                for worker, counts in status["workers"].items()
+            ]
+            print()
+            print(format_table(rows, title="per-worker attribution"))
+        for label, leases in (
+            ("active", status["active_leases"]),
+            ("expired", status["expired_leases"]),
+        ):
+            for lease in leases:
+                print(
+                    f"  {label} lease {lease['key']}: held by {lease['worker']} "
+                    f"(age {lease['age_s']:.1f}s)"
+                )
     return 0
 
 
@@ -1011,7 +1200,7 @@ def cmd_sweep_report(args: argparse.Namespace) -> int:
     if not records:
         print(f"no results in {store.path}")
         return 0
-    print(format_sweep_records(records, title=f"Sweep results ({store.path})"))
+    print(_sweep_tables(records, title=f"Sweep results ({store.path})"))
     if args.heatmap:
         grid = sweep_grid(records, value=args.value)
         if grid:

@@ -166,6 +166,52 @@ def format_sweep_records(
     return format_table(rows, columns=columns or None, float_format="{:.2f}", title=title)
 
 
+def format_serving_records(
+    records: Iterable,
+    title: Optional[str] = None,
+) -> str:
+    """Serving-load cell listing: the capacity-planning table.
+
+    One row per (model config x serving point) with the request/error
+    accounting (deterministic) and the measured QPS + p50/p95/p99 latency
+    quantiles (volatile -- informative here, never drift-gated).
+    """
+    rows = []
+    for record in records:
+        config, metrics = _record_fields(record)
+        rows.append(
+            {
+                "model": config.get("model", "?"),
+                "dataset": config.get("dataset", "?"),
+                "D": config.get("dimension", ""),
+                "engine": config.get("engine") or "-",
+                "mode": config.get("serving_mode", "?"),
+                "workers": config.get("serving_workers", ""),
+                "conc": config.get("serving_concurrency", ""),
+                "batch": config.get("serving_batch", ""),
+                "requests": metrics.get("requests", ""),
+                "errors": metrics.get("errors", ""),
+                "qps": metrics.get("qps", ""),
+                "p50_ms": metrics.get("p50_ms", ""),
+                "p95_ms": metrics.get("p95_ms", ""),
+                "p99_ms": metrics.get("p99_ms", ""),
+            }
+        )
+    rows.sort(
+        key=lambda r: (
+            str(r["model"]),
+            str(r["dataset"]),
+            str(r["D"]),
+            str(r["engine"]),
+            str(r["mode"]),
+            int(r["workers"] or 0),
+            int(r["conc"] or 0),
+            int(r["batch"] or 0),
+        )
+    )
+    return format_table(rows, float_format="{:.2f}", title=title)
+
+
 def sweep_grid(
     records: Iterable,
     row_axis: str = "dimension",

@@ -29,9 +29,58 @@ import os
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
 
+try:  # POSIX advisory locking for multi-writer (distributed sweep) appends
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platform
+    fcntl = None  # type: ignore[assignment]
+
 #: Metrics excluded from diffs by default: wall-clock measurements vary
 #: run to run and machine to machine, unlike accuracies and memory sizes.
 TIMING_METRICS = frozenset({"elapsed_s", "queries_per_s", "train_elapsed_s"})
+
+#: Latency/throughput metrics recorded by serving-load sweep cells.  They
+#: are measurements of the machine, not the model, so they are volatile by
+#: definition and must never be drift-gated.
+LATENCY_METRICS = frozenset(
+    {
+        "qps",
+        "requests_per_s",
+        "duration_s",
+        "wall_s",
+        "p50_ms",
+        "p95_ms",
+        "p99_ms",
+    }
+)
+
+#: The full set of metric names excluded from drift gating by default.
+#: This is an explicit allowlist -- NOT substring matching -- so metrics
+#: like ``p99_ms`` are skipped while e.g. ``firewall_rules`` or
+#: ``overall_score`` (which contain timing-ish substrings) are compared.
+VOLATILE_METRICS = TIMING_METRICS | LATENCY_METRICS
+
+#: Volatile metric *families*: per-engine variants are stored with the
+#: engine suffixed (``queries_per_s_packed``), so membership alone cannot
+#: cover them.  A name is volatile when it is in :data:`VOLATILE_METRICS`
+#: or starts with one of these prefixes.  Still no substring matching.
+_VOLATILE_PREFIXES = tuple(
+    f"{base}_" for base in sorted(VOLATILE_METRICS | {"elapsed", "wall", "duration"})
+)
+
+
+def is_volatile_metric(name: str) -> bool:
+    """True for wall-clock/latency/throughput metrics that vary run-to-run.
+
+    Membership is decided by the explicit :data:`VOLATILE_METRICS` set plus
+    per-engine suffixed variants of those names (``queries_per_s_packed``,
+    ``elapsed_s_float``, ...).  Deterministic metrics whose names merely
+    *contain* a timing-ish substring (``firewall_rules``, ``p99_ms_gate``
+    would not occur, but e.g. ``test_accuracy`` or ``requests``) are never
+    treated as volatile.
+    """
+    if name in VOLATILE_METRICS:
+        return True
+    return name.startswith(_VOLATILE_PREFIXES)
 
 
 class StoreError(Exception):
@@ -168,12 +217,21 @@ class ResultStore:
         terminating newline) is truncated away; without that repair the
         new record would fuse onto the partial bytes and corrupt the
         store.
+
+        Appends take an exclusive ``flock`` (where available) for the
+        repair + write, so multiple distributed-sweep workers can append
+        to one shared store without a concurrent tail repair truncating a
+        record another live writer just landed.  A writer killed while
+        holding the lock releases it automatically (the kernel drops
+        advisory locks on process exit).
         """
         record = ResultRecord(
             key=key or config_key(config), config=dict(config), metrics=dict(metrics)
         )
         self.path.parent.mkdir(parents=True, exist_ok=True)
         with open(self.path, "a+b") as handle:
+            if fcntl is not None:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
             self._truncate_torn_tail(handle)
             line = json.dumps(record.as_dict(), sort_keys=True) + "\n"
             handle.write(line.encode("utf-8"))
@@ -241,11 +299,16 @@ class ResultStore:
             Only compare these metric names; default compares every metric
             that appears on either side.
         ignore:
-            Metric names excluded from the comparison; defaults to
-            :data:`TIMING_METRICS` (wall-clock measurements are expected to
-            differ between runs).
+            Metric names excluded from the comparison; when ``None`` the
+            default skips everything :func:`is_volatile_metric` matches
+            (wall-clock, latency and throughput measurements are expected
+            to differ between runs).  Pass an explicit sequence -- e.g.
+            ``ignore=()`` -- to override.
         """
-        ignored = set(TIMING_METRICS if ignore is None else ignore)
+        if ignore is None:
+            ignored = None  # predicate-based default, applied below
+        else:
+            ignored = set(ignore)
         left, right = self.latest(), other.latest()
         changed: List[MetricChange] = []
         matching = 0
@@ -255,7 +318,10 @@ class ResultStore:
             names = set(old_metrics) | set(new_metrics)
             if metrics is not None:
                 names &= set(metrics)
-            names -= ignored
+            if ignored is None:
+                names = {name for name in names if not is_volatile_metric(name)}
+            else:
+                names -= ignored
             cell_changes = [
                 MetricChange(
                     key=shared_key,

@@ -35,6 +35,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import itertools
+import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
@@ -56,6 +57,21 @@ ID_LEVEL_MODELS = frozenset({"quanthd", "searchd", "lehdc"})
 
 #: Engines a sweep cell can time predictions under.
 SWEEP_ENGINES = ("float", "packed")
+
+#: Cell kinds a sweep can expand: accuracy/memory evaluation (the default
+#: PR 3 behaviour) or serving-load cells that boot a real server per cell
+#: and measure it with the PR 4 load generator.
+SWEEP_KINDS = ("accuracy", "serving-load")
+
+#: Loop modes a serving-load cell can drive (mirrors
+#: ``repro.runtime.loadtest.MODES`` without importing the runtime stack
+#: at sweep-definition time).
+SERVING_MODES = ("closed", "open")
+
+#: Test hook: sleep this many seconds at the start of every executed cell.
+#: Gives the chaos tests a reliable window to SIGKILL a worker *mid-cell*
+#: (between claiming a lease and appending the result).
+DELAY_ENV = "REPRO_SWEEP_TEST_DELAY_S"
 
 
 class SweepError(Exception):
@@ -220,6 +236,15 @@ class SweepSpec:
     cluster_ratios x engines x bit_flip_probabilities x adc_bits``.
     Scalars (``scale``, ``epochs``, ``learning_rate``, ``id_levels``,
     ``init_method``, ``seed``) apply to every cell.
+
+    ``kind="serving-load"`` switches the grid to capacity-planning cells:
+    each cell trains its model (same deterministic seed derivation as
+    accuracy cells -- serving knobs are evaluation-only axes), boots a
+    real server and measures it under the cell's ``serving_*`` axes
+    (concurrency x worker processes x request batch x loop mode).  Only
+    ideal cells exist in this kind (no IMC noise/ADC axes).  Accuracy
+    cells carry no ``kind`` or ``serving_*`` config keys, so every
+    pre-existing store's config hashes are unchanged.
     """
 
     models: Tuple[str, ...] = ("memhd",)
@@ -236,6 +261,13 @@ class SweepSpec:
     id_levels: int = 32
     init_method: str = "clustering"
     seed: int = 0
+    kind: str = "accuracy"
+    serving_concurrency: Tuple[int, ...] = (8,)
+    serving_workers: Tuple[int, ...] = (1,)
+    serving_batch: Tuple[int, ...] = (1,)
+    serving_modes: Tuple[str, ...] = ("closed",)
+    serving_requests: int = 64
+    serving_rate: Optional[float] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "models", tuple(self.models))
@@ -278,6 +310,49 @@ class SweepSpec:
             raise SweepError("scale must be positive")
         if self.epochs < 0:
             raise SweepError("epochs must be non-negative")
+        object.__setattr__(
+            self,
+            "serving_concurrency",
+            tuple(int(c) for c in self.serving_concurrency),
+        )
+        object.__setattr__(
+            self, "serving_workers", tuple(int(w) for w in self.serving_workers)
+        )
+        object.__setattr__(
+            self, "serving_batch", tuple(int(b) for b in self.serving_batch)
+        )
+        object.__setattr__(self, "serving_modes", tuple(self.serving_modes))
+        if self.kind not in SWEEP_KINDS:
+            raise SweepError(f"unknown kind {self.kind!r}; choose from {SWEEP_KINDS}")
+        if self.kind == "serving-load":
+            if any(p != 0.0 for p in self.bit_flip_probabilities) or any(
+                b is not None for b in self.adc_bits
+            ):
+                raise SweepError(
+                    "serving-load sweeps are ideal-only: drop the "
+                    "bit-flip/ADC axes (the IMC simulator has no server)"
+                )
+            for values, label in (
+                (self.serving_concurrency, "serving_concurrency"),
+                (self.serving_workers, "serving_workers"),
+                (self.serving_batch, "serving_batch"),
+            ):
+                if not values or any(v < 1 for v in values):
+                    raise SweepError(f"{label} axis values must be >= 1")
+            for mode in self.serving_modes:
+                if mode not in SERVING_MODES:
+                    raise SweepError(
+                        f"unknown serving mode {mode!r}; choose from {SERVING_MODES}"
+                    )
+            if int(self.serving_requests) < 1:
+                raise SweepError("serving_requests must be >= 1")
+            object.__setattr__(self, "serving_requests", int(self.serving_requests))
+            if "open" in self.serving_modes and (
+                self.serving_rate is None or float(self.serving_rate) <= 0
+            ):
+                raise SweepError("open-loop serving cells need a positive serving_rate")
+            if self.serving_rate is not None:
+                object.__setattr__(self, "serving_rate", float(self.serving_rate))
 
     # -------------------------------------------------------------- (de)spec
     def to_dict(self) -> Dict[str, Any]:
@@ -308,6 +383,8 @@ class SweepSpec:
         canonicalize identically -- e.g. two column budgets for a
         baseline that has no columns -- collapse into one job.
         """
+        if self.kind == "serving-load":
+            return self._expand_serving()
         jobs: Dict[str, SweepJob] = {}
         axes = itertools.product(
             self.models,
@@ -346,6 +423,66 @@ class SweepSpec:
                         seed=derive_job_seed(self.seed, config),
                     ),
                 )
+        return list(jobs.values())
+
+    def _expand_serving(self) -> List["SweepJob"]:
+        """Expand serving-load cells: model grid x serving knobs.
+
+        The serving knobs are evaluation-only axes (excluded from
+        :data:`TRAINING_FIELDS`), so every serving point of one model
+        cell trains the bit-identical model -- and its predictions can be
+        digest-compared across concurrency/worker-count points.
+        """
+        jobs: Dict[str, SweepJob] = {}
+        axes = itertools.product(
+            self.models,
+            self.datasets,
+            self.dimensions,
+            self.columns,
+            self.cluster_ratios,
+        )
+        for model, dataset, dimension, column_count, ratio in axes:
+            engines = tuple(
+                engine
+                for engine in self.engines
+                if engine == "float" or model in PACKED_MODELS
+            )
+            for engine in engines:
+                base = self._cell_config(
+                    model, dataset, dimension, column_count, ratio, 0.0, None, engine
+                )
+                if base is None:
+                    continue
+                points = itertools.product(
+                    self.serving_concurrency,
+                    self.serving_workers,
+                    self.serving_batch,
+                    self.serving_modes,
+                )
+                for concurrency, workers, batch, mode in points:
+                    config = dict(base)
+                    config.update(
+                        {
+                            "kind": "serving-load",
+                            "serving_concurrency": concurrency,
+                            "serving_workers": workers,
+                            "serving_batch": batch,
+                            "serving_mode": mode,
+                            "serving_requests": self.serving_requests,
+                            "serving_rate": (
+                                self.serving_rate if mode == "open" else None
+                            ),
+                        }
+                    )
+                    key = config_key(config)
+                    jobs.setdefault(
+                        key,
+                        SweepJob(
+                            key=key,
+                            config=config,
+                            seed=derive_job_seed(self.seed, config),
+                        ),
+                    )
         return list(jobs.values())
 
     def _cell_config(
@@ -428,7 +565,14 @@ def execute_job(payload: Dict[str, Any]) -> Dict[str, Any]:
     spec seed, the model from the derived cell seed, so any process (or a
     later resume) produces the same metrics for the same cell.
     """
+    delay = float(os.environ.get(DELAY_ENV, "0") or 0.0)
+    if delay > 0:
+        time.sleep(delay)
     config = payload["config"]
+    if config.get("kind") == "serving-load":
+        from repro.eval.serving_cell import execute_serving_job
+
+        return execute_serving_job(payload)
     model_seed = int(payload["seed"])
     model, dataset = model_for_config(config, model_seed)
     train_start = time.perf_counter()
@@ -623,6 +767,11 @@ def _cell_label(config: Dict[str, Any]) -> str:
         parts.append(f"p={config['bit_flip_probability']}")
     if config.get("adc_bits") is not None:
         parts.append(f"adc={config['adc_bits']}b")
+    if config.get("kind") == "serving-load":
+        parts.append(
+            f"serve[{config['serving_mode']} c={config['serving_concurrency']} "
+            f"w={config['serving_workers']} b={config['serving_batch']}]"
+        )
     return " ".join(parts)
 
 

@@ -23,6 +23,7 @@ from typing import Any, Dict, List, Optional
 from repro.eval.reporting import (
     format_heatmap,
     format_markdown_table,
+    format_serving_records,
     format_store_diff,
     format_sweep_records,
     format_table,
@@ -124,19 +125,40 @@ def _sweep_section(record: StepRecord, db: RunDB) -> List[str]:
     if not records:
         lines.append("(sweep store has no records)")
         return lines
+    serving = [
+        record
+        for record in records
+        if record.config.get("kind") == "serving-load"
+    ]
+    accuracy_records = [
+        record
+        for record in records
+        if record.config.get("kind") != "serving-load"
+    ]
     lines.append("```")
-    # Timing columns are dropped so reports are deterministic (golden-gated).
-    lines.append(
-        format_sweep_records(
-            records,
-            metrics=("test_accuracy", "memory_kib"),
-            title="sweep results",
+    if accuracy_records:
+        # Timing columns are dropped so reports are deterministic
+        # (golden-gated).
+        lines.append(
+            format_sweep_records(
+                accuracy_records,
+                metrics=("test_accuracy", "memory_kib"),
+                title="sweep results",
+            )
         )
-    )
-    grid = sweep_grid(records)
-    if grid:
-        lines.append("")
-        lines.append(format_heatmap(grid, title="test accuracy (%)"))
+        grid = sweep_grid(accuracy_records)
+        if grid:
+            lines.append("")
+            lines.append(format_heatmap(grid, title="test accuracy (%)"))
+    if serving:
+        # The capacity-planning view: p99/QPS per serving point.  These
+        # columns are volatile by nature -- golden-gated workflows use
+        # accuracy sweeps; serving tables are for operators.
+        if accuracy_records:
+            lines.append("")
+        lines.append(
+            format_serving_records(serving, title="serving-load results")
+        )
     lines.append("```")
     return lines
 

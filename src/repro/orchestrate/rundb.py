@@ -34,10 +34,7 @@ import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence
 
-#: Metric names excluded from ``end_state`` comparisons: wall-clock noise
-#: that legitimately differs between an interrupted+resumed run and an
-#: uninterrupted one (mirrors ``repro.eval.store.TIMING_METRICS``).
-VOLATILE_METRIC_PARTS = ("elapsed", "queries_per_s", "wall")
+from repro.eval.store import is_volatile_metric as _is_volatile_metric
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS runs (
@@ -80,8 +77,15 @@ CREATE INDEX IF NOT EXISTS idx_artifacts_step ON artifacts(step_id);
 
 
 def is_volatile_metric(name: str) -> bool:
-    """True for timing-flavoured metrics excluded from state comparisons."""
-    return any(part in name for part in VOLATILE_METRIC_PARTS)
+    """True for wall-clock/latency metrics excluded from state comparisons.
+
+    Delegates to the explicit ``repro.eval.store.VOLATILE_METRICS`` set
+    (plus per-engine suffixed variants).  The old implementation matched
+    timing-ish *substrings* anywhere in the name, which wrongly skipped
+    deterministic metrics like ``firewall_rules`` ("wall") and would have
+    drift-gated serving-load latency metrics like ``p99_ms``.
+    """
+    return _is_volatile_metric(name)
 
 
 @dataclasses.dataclass(frozen=True)

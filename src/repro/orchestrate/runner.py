@@ -120,14 +120,14 @@ def store_fingerprint(path) -> str:
     process pool, wall-clock metrics), so provenance hashes the
     canonical ``{config key: deterministic metrics}`` mapping instead.
     """
-    from repro.eval.store import TIMING_METRICS, ResultStore
+    from repro.eval.store import ResultStore, is_volatile_metric
 
     store = ResultStore(path)
     payload = {
         key: {
             metric: value
             for metric, value in sorted(record.metrics.items())
-            if metric not in TIMING_METRICS
+            if not is_volatile_metric(metric)
         }
         for key, record in store.latest().items()
     }
@@ -258,34 +258,63 @@ def _execute_train(payload: Dict[str, Any]) -> Dict[str, Any]:
 
 def _execute_sweep(payload: Dict[str, Any]) -> Dict[str, Any]:
     from repro.eval.store import ResultStore
-    from repro.eval.sweep import SweepSpec, run_sweep, spec_records
+    from repro.eval.sweep import SweepError, SweepSpec, run_sweep, spec_records
 
     config = payload["config"]
     spec = SweepSpec.from_dict(config["spec"])
-    filename = config["results"] or (
-        f"{payload['name']}-{payload['config_hash'][:8]}.jsonl"
-    )
-    store_path = Path(payload["sweep_dir"]) / filename
-    store = ResultStore(store_path)
-    result = run_sweep(
-        spec, store, workers=config["workers"], resume=True, progress=print
-    )
-    if not result.ok:
-        details = "; ".join(
-            f"{item.get('key', '?')}: {item.get('error', '?')}"
-            for item in result.failed
+    distributed = config.get("distributed")
+    if distributed:
+        # Elastic same-host pool over a shared store dir: N subprocess
+        # workers claim cells via lease files.  The store dir is derived
+        # from the step's config hash, so a re-run resumes the same pool
+        # directory (and the results artifact inside it).
+        from repro.eval.distributed import run_distributed_pool, store_paths
+
+        store_dir = (
+            Path(payload["sweep_dir"])
+            / f"{payload['name']}-{payload['config_hash'][:8]}.pool"
         )
-        raise OrchestrationError(f"sweep failed for {len(result.failed)} cell(s): {details}")
+        try:
+            run_distributed_pool(
+                spec,
+                store_dir,
+                workers=distributed["workers"],
+                ttl_s=distributed.get("ttl_s", 30.0),
+                poll_s=distributed.get("poll_s"),
+                progress=print,
+            )
+        except SweepError as error:
+            raise OrchestrationError(f"distributed sweep failed: {error}") from error
+        filename = f"{store_dir.name}/{store_paths(store_dir)['results'].name}"
+        store_path = store_paths(store_dir)["results"]
+        store = ResultStore(store_path)
+    else:
+        filename = config["results"] or (
+            f"{payload['name']}-{payload['config_hash'][:8]}.jsonl"
+        )
+        store_path = Path(payload["sweep_dir"]) / filename
+        store = ResultStore(store_path)
+        result = run_sweep(
+            spec, store, workers=config["workers"], resume=True, progress=print
+        )
+        if not result.ok:
+            details = "; ".join(
+                f"{item.get('key', '?')}: {item.get('error', '?')}"
+                for item in result.failed
+            )
+            raise OrchestrationError(
+                f"sweep failed for {len(result.failed)} cell(s): {details}"
+            )
+        print(result.summary())
     records = spec_records(spec, store)
     best = max(
         (record.metrics.get("test_accuracy") for record in records),
         default=None,
     )
     # Executed-vs-resumed counts are wall-history, not state: a resumed
-    # run reports different splits than a oneshot one, so they go to
-    # stdout (the tail) rather than into the metrics row.
-    print(result.summary())
-    metrics: Dict[str, Any] = {"cells": result.total}
+    # run reports different splits than a oneshot one, so they went to
+    # stdout (the tail) above rather than into the metrics row.
+    metrics: Dict[str, Any] = {"cells": len(spec.expand())}
     if best is not None:
         metrics["best_test_accuracy"] = float(best)
     return {

@@ -89,7 +89,7 @@ _KIND_SCHEMAS: Dict[str, Tuple[Tuple[str, ...], Dict[str, Any]]] = {
     ),
     "sweep": (
         ("spec",),
-        {"results": None, "workers": 1},
+        {"results": None, "workers": 1, "distributed": None},
     ),
     "bench": (
         ("model", "dataset"),
@@ -197,6 +197,37 @@ def _validate_config(step_name: str, kind: str, config: Dict[str, Any]) -> None:
             raise bad(f"invalid sweep spec: {error}") from error
         if not isinstance(config["workers"], int) or config["workers"] < 1:
             raise bad("workers must be an integer >= 1")
+        distributed = config["distributed"]
+        if distributed is not None:
+            if not isinstance(distributed, dict):
+                raise bad(
+                    "distributed must be a mapping like "
+                    "{workers: 2, ttl_s: 30, poll_s: null}"
+                )
+            unknown = set(distributed) - {"workers", "ttl_s", "poll_s"}
+            if unknown:
+                raise bad(
+                    f"unknown distributed key(s) {sorted(unknown)} "
+                    "(known: ['poll_s', 'ttl_s', 'workers'])"
+                )
+            resolved = {
+                "workers": distributed.get("workers", 2),
+                "ttl_s": distributed.get("ttl_s", 30.0),
+                "poll_s": distributed.get("poll_s"),
+            }
+            if not isinstance(resolved["workers"], int) or resolved["workers"] < 1:
+                raise bad("distributed.workers must be an integer >= 1")
+            if (
+                not isinstance(resolved["ttl_s"], (int, float))
+                or resolved["ttl_s"] <= 0
+            ):
+                raise bad("distributed.ttl_s must be a positive number")
+            if resolved["poll_s"] is not None and (
+                not isinstance(resolved["poll_s"], (int, float))
+                or resolved["poll_s"] <= 0
+            ):
+                raise bad("distributed.poll_s must be a positive number or null")
+            config["distributed"] = resolved
     if kind in ("bench", "serve-smoke"):
         if not isinstance(config["model"], str) or ":" not in config["model"]:
             raise bad(

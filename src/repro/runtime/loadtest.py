@@ -28,6 +28,7 @@ gate the batched-vs-unbatched speedup.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import math
 import socket
@@ -200,6 +201,44 @@ def synthesize_features(
     ]
 
 
+def prediction_digest(
+    url: str,
+    num_features: int,
+    batch_size: int = 1,
+    count: int = 8,
+    model: Optional[str] = None,
+    seed: int = 0,
+    timeout: float = REQUEST_TIMEOUT_S,
+) -> str:
+    """Truncated SHA-256 over the labels a server predicts for a fixed pool.
+
+    Sends the first ``count`` payloads of :func:`synthesize_features`
+    (same ``seed`` => same payloads on every call and every host) through
+    ``POST /predict`` and hashes the returned label lists in order.  Two
+    servers hosting bit-identical models therefore produce the same
+    digest -- the "bit-exact predictions" check the serving-load sweep
+    cell and its differential test share.  Raises on any non-200.
+    """
+    endpoint = (
+        f"{url.rstrip('/')}/models/{urllib.parse.quote(model)}/predict"
+        if model is not None
+        else f"{url.rstrip('/')}/predict"
+    )
+    payloads = synthesize_features(num_features, batch_size, pool=count, seed=seed)
+    labels: List[List[int]] = []
+    for features in payloads:
+        request = urllib.request.Request(
+            endpoint,
+            data=json.dumps({"features": features}).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            reply = json.loads(response.read().decode("utf-8"))
+        labels.append([int(label) for label in reply["labels"]])
+    canonical = json.dumps(labels, separators=(",", ":")).encode("utf-8")
+    return hashlib.sha256(canonical).hexdigest()[:16]
+
+
 def stream_feedback(
     url: str,
     features,
@@ -287,6 +326,7 @@ def run_load(
     rate: Optional[float] = None,
     deadline_ms: Optional[float] = None,
     seed: int = 0,
+    total_requests: Optional[int] = None,
 ) -> LoadReport:
     """Drive a live server and measure throughput + latency quantiles.
 
@@ -314,6 +354,13 @@ def run_load(
         Optional per-request deadline forwarded to the server.
     seed:
         Payload-synthesis seed.
+    total_requests:
+        When set, fire exactly this many requests (split over the workers
+        by arrival index) instead of running for ``duration_seconds`` --
+        the deterministic mode serving-load sweep cells use, so request
+        and error *counts* are reproducible even though latencies are
+        not.  ``duration_seconds`` is ignored in this mode; each request
+        is still bounded by the per-request socket timeout.
     """
     if mode not in MODES:
         raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
@@ -321,6 +368,8 @@ def run_load(
         raise ValueError(f"concurrency must be positive, got {concurrency}")
     if batch_size <= 0:
         raise ValueError(f"batch_size must be positive, got {batch_size}")
+    if total_requests is not None and total_requests <= 0:
+        raise ValueError(f"total_requests must be positive, got {total_requests}")
     if duration_seconds <= 0:
         raise ValueError(f"duration_seconds must be positive, got {duration_seconds}")
     if mode == "open":
@@ -435,7 +484,12 @@ def run_load(
         start_barrier.wait()
         try:
             step = index
-            while time.monotonic() < stop_monotonic:
+            while True:
+                if total_requests is not None:
+                    if step >= total_requests:
+                        return
+                elif time.monotonic() >= stop_monotonic:
+                    return
                 client.fire(requests_bytes[step % len(requests_bytes)])
                 step += concurrency
         finally:
@@ -447,9 +501,11 @@ def run_load(
         try:
             arrival = index
             while True:
+                if total_requests is not None and arrival >= total_requests:
+                    return
                 due = open_start + arrival * interval
                 now = time.monotonic()
-                if due >= stop_monotonic:
+                if total_requests is None and due >= stop_monotonic:
                     return
                 if due > now:
                     time.sleep(due - now)

@@ -152,6 +152,62 @@ class TestStoreDiff:
         # ... unless the caller opts in to comparing them.
         assert not left.diff(right, ignore=()).is_clean
 
+    def test_latency_metrics_ignored_by_default(self, tmp_path):
+        """Serving measurements (QPS, latency quantiles) never gate drift."""
+        config = {"model": "memhd", "kind": "serving-load"}
+        left = self._store(
+            tmp_path,
+            "left",
+            [(config, {"requests": 64, "qps": 1500.0, "p99_ms": 9.1})],
+        )
+        right = self._store(
+            tmp_path,
+            "right",
+            [(config, {"requests": 64, "qps": 2.0, "p99_ms": 900.0})],
+        )
+        assert left.diff(right).is_clean
+        assert right.diff(left).is_clean  # symmetric: both directions clean
+
+    def test_volatile_skip_is_exact_name_matching_not_substring(self, tmp_path):
+        """Pinned regression: metrics merely *containing* a volatile word
+        (``firewall_rules`` contains ``wall``) must still be compared."""
+        config = {"model": "memhd"}
+        left = self._store(
+            tmp_path, "left", [(config, {"firewall_rules": 3, "overall_score": 0.9})]
+        )
+        right = self._store(
+            tmp_path, "right", [(config, {"firewall_rules": 4, "overall_score": 0.5})]
+        )
+        diff = left.diff(right)
+        assert not diff.is_clean
+        assert {change.metric for change in diff.changed} == {
+            "firewall_rules",
+            "overall_score",
+        }
+        reverse = right.diff(left)
+        assert {change.metric for change in reverse.changed} == {
+            "firewall_rules",
+            "overall_score",
+        }
+
+    def test_deterministic_serving_counts_still_gate(self, tmp_path):
+        """``requests``/``errors``/``error_rate`` are NOT volatile: a pool
+        that dropped requests must show up as drift in both directions."""
+        config = {"model": "memhd", "kind": "serving-load"}
+        left = self._store(
+            tmp_path, "left", [(config, {"requests": 64, "errors": 0, "error_rate": 0.0})]
+        )
+        right = self._store(
+            tmp_path, "right", [(config, {"requests": 60, "errors": 4, "error_rate": 0.0625})]
+        )
+        for diff in (left.diff(right), right.diff(left)):
+            assert not diff.is_clean
+            assert {change.metric for change in diff.changed} == {
+                "requests",
+                "errors",
+                "error_rate",
+            }
+
     def test_tolerance_is_honored(self, tmp_path):
         config = {"model": "memhd"}
         left = self._store(tmp_path, "left", [(config, {"test_accuracy": 0.8})])

@@ -169,3 +169,14 @@ def test_is_volatile_metric():
     assert is_volatile_metric("wall_s")
     assert not is_volatile_metric("test_accuracy")
     assert not is_volatile_metric("memory_kib")
+    # Serving-load measurements are volatile; their accounting is not.
+    assert is_volatile_metric("p99_ms")
+    assert is_volatile_metric("qps")
+    assert is_volatile_metric("duration_s")
+    assert not is_volatile_metric("requests")
+    assert not is_volatile_metric("error_rate")
+    assert not is_volatile_metric("predictions_sha256")
+    # Exact-name matching, not substrings: "firewall_rules" contains
+    # "wall" and "overall_score" contains "all", yet neither is timing.
+    assert not is_volatile_metric("firewall_rules")
+    assert not is_volatile_metric("overall_score")
